@@ -1,0 +1,51 @@
+//! Ablation: folding-model choices — fit model (isotonic vs binned
+//! mean), bin count, and the tracer's allocation-tracking threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mempersp_bench::{run_analysis, Scale};
+use mempersp_core::workflow::analyze_hpcg;
+use mempersp_core::MachineConfig;
+use mempersp_folding::{fold_region, FitModel, FoldingConfig};
+use mempersp_hpcg::HpcgConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analysis = run_analysis(Scale::Quick);
+    let trace = &analysis.report.trace;
+
+    // Report the quality side: how close the two fits agree, and what
+    // the threshold does to resolution.
+    for fit in [FitModel::Isotonic, FitModel::BinnedMean] {
+        let cfg = FoldingConfig { fit, ..Default::default() };
+        let f = fold_region(trace, "CG_iteration", &cfg).unwrap();
+        eprintln!("{fit:?}: mean MIPS {:.0}", f.mean_mips());
+    }
+    for threshold in [64u64, 1024, 1 << 20] {
+        let mut mcfg = MachineConfig::small();
+        mcfg.tracer.alloc_threshold = threshold;
+        let hcfg = HpcgConfig { nx: 8, max_iters: 2, mg_levels: 2, group_allocations: false, use_mg: true };
+        let a = analyze_hpcg(mcfg, hcfg);
+        eprintln!(
+            "threshold {threshold:>8} B: {:.1} % samples resolved (ungrouped run)",
+            100.0 * a.resolved_fraction
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_folding");
+    for fit in [FitModel::Isotonic, FitModel::BinnedMean] {
+        g.bench_with_input(BenchmarkId::new("fit", format!("{fit:?}")), &fit, |b, &fit| {
+            let cfg = FoldingConfig { fit, ..Default::default() };
+            b.iter(|| black_box(fold_region(black_box(trace), "CG_iteration", &cfg).unwrap()))
+        });
+    }
+    for bins in [8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("bins", bins), &bins, |b, &bins| {
+            let cfg = FoldingConfig { bins, ..Default::default() };
+            b.iter(|| black_box(fold_region(black_box(trace), "CG_iteration", &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

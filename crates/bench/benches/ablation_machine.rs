@@ -1,0 +1,65 @@
+//! Ablation: machine-model knobs — prefetcher on/off and replacement
+//! policy — and their effect on the reproduced HPCG behaviour
+//! (DRAM-served fraction, wall cycles). These are the design choices
+//! DESIGN.md §6 calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mempersp_core::{Machine, MachineConfig, PebsCoreSelect};
+use mempersp_hpcg::{HpcgConfig, HpcgWorkload};
+use mempersp_memsim::ReplacementPolicy;
+use std::hint::black_box;
+
+fn run(cfg: MachineConfig) -> (u64, f64) {
+    let mut m = Machine::new(cfg);
+    let mut w = HpcgWorkload::new(HpcgConfig {
+        nx: 8,
+        max_iters: 2,
+        mg_levels: 2,
+        group_allocations: true,
+        use_mg: true,
+    });
+    let rep = m.run(&mut w);
+    let t = rep.stats.total_cores();
+    let dram_frac = t.served_dram as f64 / t.accesses().max(1) as f64;
+    (rep.wall_cycles, dram_frac)
+}
+
+fn base_cfg() -> MachineConfig {
+    let mut cfg = MachineConfig::small();
+    cfg.pebs_cores = PebsCoreSelect::Only(0);
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    // Report the behavioural side once.
+    for pf in [true, false] {
+        let mut cfg = base_cfg();
+        cfg.hierarchy.prefetch.enabled = pf;
+        let (cycles, dram) = run(cfg);
+        eprintln!("prefetch {pf:>5}: {cycles:>10} cycles, {:.1} % served by DRAM", dram * 100.0);
+    }
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        let mut cfg = base_cfg();
+        cfg.hierarchy.l1d.replacement = policy;
+        cfg.hierarchy.l2.replacement = policy;
+        cfg.hierarchy.l3.replacement = policy;
+        let (cycles, dram) = run(cfg);
+        eprintln!("{policy:?}: {cycles} cycles, {:.1} % DRAM", dram * 100.0);
+    }
+
+    let mut g = c.benchmark_group("ablation_machine");
+    g.sample_size(10);
+    for pf in [true, false] {
+        g.bench_with_input(BenchmarkId::new("prefetch", pf), &pf, |b, &p| {
+            b.iter(|| {
+                let mut cfg = base_cfg();
+                cfg.hierarchy.prefetch.enabled = p;
+                black_box(run(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

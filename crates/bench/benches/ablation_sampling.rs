@@ -1,0 +1,50 @@
+//! Ablation: PEBS sampling period and multiplexing slice length.
+//!
+//! The paper's pitch is that *coarse* sampling suffices; this bench
+//! measures the monitored run's cost at different sampling periods
+//! and reports (via stderr) how the folded-panel density degrades —
+//! the precision-vs-overhead trade-off called out in DESIGN.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mempersp_core::{Machine, MachineConfig};
+use mempersp_workloads::StreamTriad;
+use std::hint::black_box;
+
+fn machine_with_period(period: u64, slice: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::small();
+    for e in &mut cfg.pebs_events {
+        e.period = period;
+    }
+    cfg.mux_slice_cycles = slice;
+    cfg
+}
+
+fn samples_at(period: u64, slice: u64) -> (usize, u64) {
+    let mut m = Machine::new(machine_with_period(period, slice));
+    let rep = m.run(&mut StreamTriad::new(1 << 14, 8));
+    (rep.trace.pebs_events().count(), rep.wall_cycles)
+}
+
+fn bench(c: &mut Criterion) {
+    // Report the precision side of the trade-off once.
+    for period in [31u64, 127, 509, 2053] {
+        let (n, cycles) = samples_at(period, 5_000);
+        eprintln!("period {period:>5}: {n:>6} PEBS samples, {cycles} cycles");
+    }
+    for slice in [1_000u64, 10_000, 100_000] {
+        let (n, _) = samples_at(127, slice);
+        eprintln!("mux slice {slice:>7}: {n:>6} PEBS samples");
+    }
+
+    let mut g = c.benchmark_group("ablation_sampling");
+    g.sample_size(10);
+    for period in [31u64, 509, 2053] {
+        g.bench_with_input(BenchmarkId::new("period", period), &period, |b, &p| {
+            b.iter(|| black_box(samples_at(p, 5_000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

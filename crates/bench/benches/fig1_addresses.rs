@@ -1,0 +1,48 @@
+//! Fig. 1, middle panel: folded address samples with object
+//! annotation, plus the sweep-direction analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mempersp_bench::{run_analysis, Scale};
+use mempersp_core::analysis::sweeps::symgs_sweeps;
+use mempersp_core::report::figure::addresses_csv;
+use mempersp_core::SweepDirection;
+use mempersp_hpcg::kernels::{SYMGS_BWD_LINES, SYMGS_FILE, SYMGS_FWD_LINES};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analysis = run_analysis(Scale::Quick);
+    let trace = &analysis.report.trace;
+    let object = analysis.matrix_object.expect("matrix group present");
+
+    // Verify the panel's claims before timing its regeneration.
+    let (fwd, bwd) = analysis.sweeps.as_ref().expect("sweeps detected");
+    assert_eq!(fwd.direction, SweepDirection::Forward);
+    assert_eq!(bwd.direction, SweepDirection::Backward);
+    eprintln!(
+        "address panel: {} samples, sweeps fwd/bwd confirmed",
+        analysis.folded_iteration.pooled.addr_points.len()
+    );
+
+    let mut g = c.benchmark_group("fig1_addresses");
+    g.sample_size(20);
+    g.bench_function("emit_addresses_csv", |b| {
+        b.iter(|| black_box(addresses_csv(&analysis.folded_iteration, trace).len()))
+    });
+    g.bench_function("sweep_detection", |b| {
+        b.iter(|| {
+            black_box(symgs_sweeps(
+                &analysis.folded_symgs,
+                trace,
+                object,
+                SYMGS_FILE,
+                SYMGS_FWD_LINES,
+                SYMGS_BWD_LINES,
+                (0.0, 1.0),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

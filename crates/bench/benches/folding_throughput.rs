@@ -1,0 +1,53 @@
+//! Folding-mechanism microbenchmarks: cost of the fold as a function
+//! of sample count (the paper's selling point is that *coarse*
+//! sampling suffices — the fold itself must stay cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mempersp_extrae::{Tracer, TracerConfig};
+use mempersp_folding::{fold_region, FoldingConfig};
+use mempersp_pebs::{CounterSnapshot, EventKind};
+use std::hint::black_box;
+
+fn trace_with_samples(instances: usize, samples_per: usize) -> mempersp_extrae::Trace {
+    let mut t = Tracer::new(TracerConfig::default(), 1);
+    let ip = t.location("k.rs", 1, "k");
+    let mk = |inst: u64| {
+        let mut v = [0u64; EventKind::ALL.len()];
+        v[EventKind::Instructions.index()] = inst;
+        v[EventKind::Cycles.index()] = inst * 2;
+        CounterSnapshot::from_values(v)
+    };
+    let mut now = 0u64;
+    let mut base = 0u64;
+    for _ in 0..instances {
+        t.enter(0, "R", mk(base), now);
+        for s in 1..=samples_per {
+            let x = s as f64 / (samples_per + 1) as f64;
+            t.record_counter_sample(0, ip, mk(base + (x * 1e6) as u64), now + (x * 10_000.0) as u64);
+        }
+        t.exit(0, "R", mk(base + 1_000_000), now + 10_000);
+        base += 1_000_000;
+        now += 10_100;
+    }
+    t.finish("folding bench")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("folding_throughput");
+    for &(instances, samples) in &[(10usize, 10usize), (100, 10), (100, 100), (1000, 100)] {
+        let trace = trace_with_samples(instances, samples);
+        let total = (instances * samples) as u64;
+        g.throughput(Throughput::Elements(total));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{instances}x{samples}")),
+            &trace,
+            |b, tr| {
+                b.iter(|| black_box(fold_region(tr, "R", &FoldingConfig::default()).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Simulator-substrate microbenchmarks: accesses per second through
+//! the cache hierarchy under the archetypal access patterns, per
+//! replacement policy and with/without the prefetcher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mempersp_memsim::{
+    AccessKind, HierarchyConfig, MemorySystem, ReplacementPolicy,
+};
+use std::hint::black_box;
+
+const N: u64 = 100_000;
+
+fn stream(mem: &mut MemorySystem) -> u64 {
+    let mut lat = 0u64;
+    for i in 0..N {
+        lat += mem.access(0, AccessKind::Load, i * 8, 8, i) .latency as u64;
+    }
+    lat
+}
+
+fn random(mem: &mut MemorySystem) -> u64 {
+    let mut lat = 0u64;
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for i in 0..N {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        lat += mem
+            .access(0, AccessKind::Load, x % (1 << 26), 8, i)
+            .latency as u64;
+    }
+    lat
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsim_throughput");
+    g.throughput(Throughput::Elements(N));
+
+    for (name, prefetch) in [("prefetch_on", true), ("prefetch_off", false)] {
+        g.bench_with_input(BenchmarkId::new("stream", name), &prefetch, |b, &pf| {
+            b.iter_batched(
+                || {
+                    let mut cfg = HierarchyConfig::haswell_like();
+                    cfg.prefetch.enabled = pf;
+                    MemorySystem::new(cfg, 1)
+                },
+                |mut mem| black_box(stream(&mut mem)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("random", format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter_batched(
+                    || {
+                        let mut cfg = HierarchyConfig::haswell_like();
+                        cfg.l1d.replacement = p;
+                        cfg.l2.replacement = p;
+                        cfg.l3.replacement = p;
+                        MemorySystem::new(cfg, 1)
+                    },
+                    |mut mem| black_box(random(&mut mem)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

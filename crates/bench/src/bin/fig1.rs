@@ -1,0 +1,40 @@
+//! Regenerate Fig. 1 (all three panels): writes the CSV + gnuplot
+//! bundle and prints the phase/sweep/performance summary.
+//!
+//! ```sh
+//! MEMPERSP_SCALE=large cargo run --release -p mempersp-bench --bin fig1
+//! ```
+
+use mempersp_bench::{run_analysis, Scale};
+use mempersp_core::report::{ascii, figure};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("regenerating Fig. 1 at {scale:?} scale ...");
+    let a = run_analysis(scale);
+
+    println!("{}", a.summary());
+    println!("-- folded code-line panel (top panel of Fig. 1) -------------");
+    print!("{}", ascii::lines_panel(&a.folded_iteration, 96, 24));
+    println!("-- folded address panel (middle panel of Fig. 1) -----------");
+    print!("{}", ascii::address_panel(&a.folded_iteration, 96, 20));
+    println!("-- folded performance panel (bottom panel of Fig. 1) -------");
+    print!("{}", ascii::performance_panel(&a.folded_iteration, 80));
+
+    let dir = std::path::Path::new("target/fig1");
+    let files = figure::write_figure_bundle(
+        dir,
+        "fig1",
+        "HPCG — folded CG iteration (Servat et al. ICPP'17, Fig. 1)",
+        &a.folded_iteration,
+        &a.report.trace,
+        &a.phases,
+    )
+    .expect("write bundle");
+    std::fs::write(
+        dir.join("fig1_summary.json"),
+        serde_json::to_string_pretty(&a.json_summary()).expect("serialize"),
+    )
+    .expect("write json summary");
+    eprintln!("wrote {} files (+ fig1_summary.json) under {}", files.len(), dir.display());
+}

@@ -1,0 +1,46 @@
+//! Experiment T-A: per-phase traversal bandwidths (Section III's
+//! 4197 / 4315 / 6427 MB/s numbers) — paper vs measured.
+
+use mempersp_bench::{header, row, run_analysis, Scale};
+
+fn main() {
+    let a = run_analysis(Scale::from_env());
+    let a1 = a.bandwidth("a1").unwrap_or(0.0);
+    let a2 = a.bandwidth("a2").unwrap_or(0.0);
+    let b = a.bandwidth("B").unwrap_or(0.0);
+    let e = a.bandwidth("E").unwrap_or(0.0);
+
+    println!("T-A: traversal bandwidths of the folded phases");
+    println!("{}", header());
+    println!("{}", row("a1 (SYMGS forward sweep) MB/s", "4197", &format!("{a1:.0}"), "-"));
+    println!("{}", row("a2 (SYMGS backward sweep) MB/s", "4315", &format!("{a2:.0}"), "-"));
+    println!("{}", row("B (SpMV) MB/s", "6427", &format!("{b:.0}"), "-"));
+    println!("{}", row("E (SpMV, CG level) MB/s", "n/a", &format!("{e:.0}"), "-"));
+    let paper_ratio = 6427.0 / 4197.0f64.max(4315.0);
+    let ratio = b / a1.max(a2);
+    println!(
+        "{}",
+        row(
+            "SpMV / SYMGS bandwidth ratio",
+            &format!("{paper_ratio:.2}"),
+            &format!("{ratio:.2}"),
+            if ratio > 1.1 { "yes (SpMV wins)" } else { "NO" },
+        )
+    );
+    let paper_sweeps = 4315.0 / 4197.0;
+    let sweeps = a1.max(a2) / a1.min(a2).max(1e-9);
+    println!(
+        "{}",
+        row(
+            "fwd vs bwd sweep ratio",
+            &format!("{paper_sweeps:.3}"),
+            &format!("{sweeps:.3}"),
+            if sweeps < 1.6 { "yes (comparable)" } else { "NO" },
+        )
+    );
+    println!(
+        "\nmean MIPS {:.0} (paper plateau ≈1500); IPC at nominal {:.2} (paper ≈0.6)",
+        a.folded_iteration.mean_mips(),
+        a.folded_iteration.mean_mips() / (a.report.trace.meta.freq_mhz as f64)
+    );
+}

@@ -1,0 +1,51 @@
+//! Experiment T-C: the read-only region — no store samples land in
+//! the matrix structure during the execution phase, while the vector
+//! region sees loads and stores (Fig. 1's "no black points in the
+//! lower part").
+
+use mempersp_bench::{header, row, run_analysis, Scale};
+
+fn main() {
+    let a = run_analysis(Scale::from_env());
+
+    println!("T-C: load/store split per data object (execution phase)");
+    println!("{}", header());
+    let matrix = a.matrix_stats();
+    let (loads, stores) = matrix.map(|m| (m.loads, m.stores)).unwrap_or((0, 0));
+    println!(
+        "{}",
+        row(
+            "store samples in matrix region",
+            "0 (no black points)",
+            &stores.to_string(),
+            if stores == 0 && loads > 0 { "yes" } else { "NO" },
+        )
+    );
+    println!("{}", row("load samples in matrix region", ">0", &loads.to_string(), "-"));
+    let vec_stores: u64 = a
+        .objects
+        .iter()
+        .filter(|o| o.name.starts_with("CG_ref.cpp") || o.name.starts_with("GenerateCoarse"))
+        .map(|o| o.stores)
+        .sum();
+    println!(
+        "{}",
+        row(
+            "store samples in vector region",
+            ">0",
+            &vec_stores.to_string(),
+            if vec_stores > 0 { "yes" } else { "NO" },
+        )
+    );
+
+    println!("\nper-object detail:");
+    for o in a.objects.iter().take(8) {
+        println!(
+            "  {:<44} loads {:>6} stores {:>6}{}",
+            o.name,
+            o.loads,
+            o.stores,
+            if o.is_read_only() { "  [read-only → NVM candidate, as §IV notes]" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Access-cost distributions from the PEBS samples.
+//!
+//! The load-latency side of PEBS is what tools like `dmem_advisor`
+//! and VTune build on (both cited by the paper); this module gives
+//! the folded equivalent: latency percentiles and per-data-source
+//! histograms, per object or for the whole run.
+
+use mempersp_extrae::{ObjectId, Trace};
+use mempersp_memsim::MemLevel;
+use serde::{Deserialize, Serialize};
+
+/// Latency distribution summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    /// Samples aggregated.
+    pub samples: usize,
+    pub min: u32,
+    pub p50: u32,
+    pub p90: u32,
+    pub p99: u32,
+    pub max: u32,
+    pub mean: f64,
+    /// Mean latency of the samples served by each level (L1/L2/L3/DRAM);
+    /// `None` when no sample came from that level.
+    pub mean_by_source: [Option<f64>; 4],
+}
+
+fn source_index(l: MemLevel) -> usize {
+    match l {
+        MemLevel::L1 => 0,
+        MemLevel::L2 => 1,
+        MemLevel::L3 => 2,
+        MemLevel::Dram => 3,
+    }
+}
+
+fn percentile(sorted: &[u32], p: f64) -> u32 {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Build the latency profile of PEBS load samples, optionally
+/// restricted to one object and/or to stores instead of loads.
+pub fn latency_profile(
+    trace: &Trace,
+    object: Option<ObjectId>,
+    stores: bool,
+) -> Option<LatencyProfile> {
+    let mut lats: Vec<u32> = Vec::new();
+    let mut sums = [0u64; 4];
+    let mut counts = [0u64; 4];
+    for (_, s, obj) in trace.pebs_events() {
+        if s.is_store != stores {
+            continue;
+        }
+        if let Some(want) = object {
+            if obj != Some(want) {
+                continue;
+            }
+        }
+        lats.push(s.latency);
+        let i = source_index(s.source);
+        sums[i] += s.latency as u64;
+        counts[i] += 1;
+    }
+    if lats.is_empty() {
+        return None;
+    }
+    lats.sort_unstable();
+    let mean = lats.iter().map(|&l| l as f64).sum::<f64>() / lats.len() as f64;
+    let mut mean_by_source = [None; 4];
+    for i in 0..4 {
+        if counts[i] > 0 {
+            mean_by_source[i] = Some(sums[i] as f64 / counts[i] as f64);
+        }
+    }
+    Some(LatencyProfile {
+        samples: lats.len(),
+        min: lats[0],
+        p50: percentile(&lats, 0.50),
+        p90: percentile(&lats, 0.90),
+        p99: percentile(&lats, 0.99),
+        max: *lats.last().expect("non-empty"),
+        mean,
+        mean_by_source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::{CodeLocation, Tracer, TracerConfig};
+    use mempersp_pebs::PebsSample;
+
+    fn trace_with_latencies(lats: &[(u32, MemLevel)]) -> Trace {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let base = t.malloc(1 << 20, &CodeLocation::new("x.rs", 1, "x"), 0);
+        for (i, &(lat, src)) in lats.iter().enumerate() {
+            t.record_pebs(PebsSample {
+                timestamp: i as u64,
+                core: 0,
+                ip: 0,
+                addr: base + i as u64 * 8,
+                size: 8,
+                is_store: false,
+                latency: lat,
+                source: src,
+                tlb_miss: false,
+            });
+        }
+        t.finish("lat")
+    }
+
+    #[test]
+    fn percentiles_and_means() {
+        let lats: Vec<(u32, MemLevel)> = (1..=100).map(|i| (i, MemLevel::L2)).collect();
+        let tr = trace_with_latencies(&lats);
+        let p = latency_profile(&tr, None, false).unwrap();
+        assert_eq!(p.samples, 100);
+        assert_eq!(p.min, 1);
+        assert_eq!(p.max, 100);
+        // Nearest-rank on 100 samples: index round(99·0.5) = 50 → 51.
+        assert_eq!(p.p50, 51);
+        assert_eq!(p.p90, 90);
+        assert_eq!(p.p99, 99);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+        assert!(p.mean_by_source[1].is_some());
+        assert!(p.mean_by_source[3].is_none());
+    }
+
+    #[test]
+    fn per_source_means() {
+        let tr = trace_with_latencies(&[
+            (4, MemLevel::L1),
+            (6, MemLevel::L1),
+            (200, MemLevel::Dram),
+        ]);
+        let p = latency_profile(&tr, None, false).unwrap();
+        assert_eq!(p.mean_by_source[0], Some(5.0));
+        assert_eq!(p.mean_by_source[3], Some(200.0));
+    }
+
+    #[test]
+    fn empty_selection_is_none() {
+        let tr = trace_with_latencies(&[(4, MemLevel::L1)]);
+        assert!(latency_profile(&tr, None, true).is_none(), "no store samples");
+        assert!(latency_profile(&tr, Some(mempersp_extrae::ObjectId(99)), false).is_none());
+    }
+}

@@ -1,0 +1,12 @@
+//! Analyses over traces and folded regions: everything the analyst
+//! reads off the paper's Fig. 1.
+
+pub mod bandwidth;
+pub mod cpi;
+pub mod latency;
+pub mod objects;
+pub mod phases;
+pub mod profile;
+pub mod reuse;
+pub mod streams;
+pub mod sweeps;

@@ -1,0 +1,125 @@
+//! Flat sampling profile from the timer samples' region stacks.
+//!
+//! Every timer sample carries the stack of open instrumented regions;
+//! counting samples per innermost region gives the classic flat
+//! profile (share of time per routine), and counting per *stack
+//! member* the inclusive profile — the "source code" dimension of the
+//! paper's three-way view, aggregated.
+
+use mempersp_extrae::events::EventPayload;
+use mempersp_extrae::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One row of the profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    pub region: String,
+    /// Samples with this region innermost (exclusive / self).
+    pub self_samples: u64,
+    /// Samples with this region anywhere on the stack (inclusive).
+    pub inclusive_samples: u64,
+}
+
+impl ProfileRow {
+    /// Self share of the total samples.
+    pub fn self_fraction(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.self_samples as f64 / total as f64
+        }
+    }
+}
+
+/// The flat profile of a trace (all cores), sorted by descending self
+/// samples. Returns `(rows, total_samples)`; samples taken outside
+/// any region are counted in the total but belong to no row.
+pub fn flat_profile(trace: &Trace) -> (Vec<ProfileRow>, u64) {
+    let n = trace.region_names.len();
+    let mut self_s = vec![0u64; n];
+    let mut incl = vec![0u64; n];
+    let mut total = 0u64;
+    for e in &trace.events {
+        if let EventPayload::CounterSample { stack, .. } = &e.payload {
+            total += 1;
+            if let Some(inner) = stack.last() {
+                self_s[inner.0 as usize] += 1;
+            }
+            let mut seen = std::collections::HashSet::new();
+            for r in stack {
+                if seen.insert(r.0) {
+                    incl[r.0 as usize] += 1;
+                }
+            }
+        }
+    }
+    let mut rows: Vec<ProfileRow> = (0..n)
+        .filter(|&i| incl[i] > 0)
+        .map(|i| ProfileRow {
+            region: trace.region_names[i].clone(),
+            self_samples: self_s[i],
+            inclusive_samples: incl[i],
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.self_samples));
+    (rows, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::{Tracer, TracerConfig};
+    use mempersp_pebs::CounterSnapshot;
+
+    #[test]
+    fn self_and_inclusive_counts() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let ip = t.location("f.c", 1, "f");
+        let c = CounterSnapshot::default();
+        t.enter(0, "outer", c, 0);
+        t.record_counter_sample(0, ip, c, 10); // outer self
+        t.enter(0, "inner", c, 20);
+        t.record_counter_sample(0, ip, c, 30); // inner self, outer inclusive
+        t.record_counter_sample(0, ip, c, 40);
+        t.exit(0, "inner", c, 50);
+        t.exit(0, "outer", c, 60);
+        t.record_counter_sample(0, ip, c, 70); // no region
+        let tr = t.finish("profile");
+
+        let (rows, total) = flat_profile(&tr);
+        assert_eq!(total, 4);
+        let outer = rows.iter().find(|r| r.region == "outer").unwrap();
+        let inner = rows.iter().find(|r| r.region == "inner").unwrap();
+        assert_eq!(outer.self_samples, 1);
+        assert_eq!(outer.inclusive_samples, 3);
+        assert_eq!(inner.self_samples, 2);
+        assert_eq!(inner.inclusive_samples, 2);
+        assert!((inner.self_fraction(total) - 0.5).abs() < 1e-12);
+        // Sorted by self samples.
+        assert_eq!(rows[0].region, "inner");
+    }
+
+    #[test]
+    fn recursive_stack_counts_inclusive_once() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let ip = t.location("f.c", 1, "f");
+        let c = CounterSnapshot::default();
+        t.enter(0, "rec", c, 0);
+        t.enter(0, "rec", c, 10);
+        t.record_counter_sample(0, ip, c, 20);
+        t.exit(0, "rec", c, 30);
+        t.exit(0, "rec", c, 40);
+        let tr = t.finish("rec");
+        let (rows, _) = flat_profile(&tr);
+        assert_eq!(rows[0].inclusive_samples, 1, "double-counted recursion");
+        assert_eq!(rows[0].self_samples, 1);
+    }
+
+    #[test]
+    fn empty_trace_profile() {
+        let t = Tracer::new(TracerConfig::default(), 1);
+        let (rows, total) = flat_profile(&t.finish("empty"));
+        assert!(rows.is_empty());
+        assert_eq!(total, 0);
+    }
+}

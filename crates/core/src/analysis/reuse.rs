@@ -1,0 +1,190 @@
+//! Sampled reuse-distance estimation.
+//!
+//! The paper's introduction lists "calculating reuse distances" among
+//! the analyses that memory-access information enables. Exact reuse
+//! distance needs the full access stream; from *sampled* accesses we
+//! compute the standard approximation: for consecutive samples of the
+//! same cache line, the number of **distinct** other lines sampled in
+//! between. With uniform sampling this preserves the distribution's
+//! shape (Zhong et al.'s sampling argument), which is what locality
+//! diagnosis needs.
+
+use mempersp_extrae::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Histogram of sampled reuse distances in power-of-two buckets:
+/// bucket `i` counts reuses with distance in `[2^i, 2^(i+1))`
+/// (bucket 0 holds distances 0 and 1).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    pub buckets: Vec<u64>,
+    /// Lines sampled exactly once (no reuse observed).
+    pub cold: u64,
+    /// Total reuse pairs observed.
+    pub reuses: u64,
+}
+
+impl ReuseHistogram {
+    fn record(&mut self, distance: usize) {
+        let bucket = (usize::BITS - distance.max(1).leading_zeros() - 1) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.reuses += 1;
+    }
+
+    /// Median bucket's lower bound (a robust "typical reuse distance"
+    /// in sampled-lines units); `None` without reuses.
+    pub fn typical_distance(&self) -> Option<u64> {
+        if self.reuses == 0 {
+            return None;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen * 2 >= self.reuses {
+                return Some(1u64 << i);
+            }
+        }
+        None
+    }
+
+    /// Fraction of reuse pairs whose distance is below `lines`.
+    pub fn fraction_below(&self, lines: u64) -> f64 {
+        if self.reuses == 0 {
+            return 0.0;
+        }
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if (1u64 << i) < lines {
+                below += c;
+            }
+        }
+        below as f64 / self.reuses as f64
+    }
+}
+
+/// Estimate the reuse-distance histogram of the PEBS samples on
+/// `core` (line granularity, `line_size` bytes).
+pub fn sampled_reuse_histogram(trace: &Trace, core: usize, line_size: u64) -> ReuseHistogram {
+    let mask = !(line_size - 1);
+    // last_seen: line -> index in the sampled sequence; between two
+    // touches of a line, count distinct lines via a per-line epoch set
+    // approximation: we track the sequence of sampled lines and use a
+    // tree-less counting pass (samples are few, so an O(n·d) scan with
+    // a small map is fine).
+    let lines: Vec<u64> = trace
+        .pebs_events()
+        .filter(|(_, s, _)| s.core == core)
+        .map(|(_, s, _)| s.addr & mask)
+        .collect();
+    let mut hist = ReuseHistogram::default();
+    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    // For distance counting, remember for each position the line; on a
+    // reuse at position j of a line last seen at i, distance = number
+    // of distinct lines in lines[i+1..j].
+    for (j, &line) in lines.iter().enumerate() {
+        if let Some(&i) = last_pos.get(&line) {
+            let distinct: std::collections::HashSet<u64> =
+                lines[i + 1..j].iter().copied().collect();
+            hist.record(distinct.len());
+        }
+        last_pos.insert(line, j);
+    }
+    hist.cold = last_pos.len() as u64 - hist_reused_lines(&lines);
+    hist
+}
+
+fn hist_reused_lines(lines: &[u64]) -> u64 {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &l in lines {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts.values().filter(|&&c| c > 1).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::{Tracer, TracerConfig};
+    use mempersp_memsim::MemLevel;
+    use mempersp_pebs::PebsSample;
+
+    fn trace_of(addrs: &[u64]) -> Trace {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        for (i, &a) in addrs.iter().enumerate() {
+            t.record_pebs(PebsSample {
+                timestamp: i as u64,
+                core: 0,
+                ip: 0,
+                addr: a,
+                size: 8,
+                is_store: false,
+                latency: 1,
+                source: MemLevel::L1,
+                tlb_miss: false,
+            });
+        }
+        t.finish("reuse")
+    }
+
+    #[test]
+    fn immediate_reuse_is_distance_zero_bucket() {
+        // A A → one reuse with 0 distinct lines in between.
+        let tr = trace_of(&[0x0, 0x8]);
+        let h = sampled_reuse_histogram(&tr, 0, 64);
+        assert_eq!(h.reuses, 1);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.cold, 0);
+    }
+
+    #[test]
+    fn distance_counts_distinct_lines() {
+        // A B C B A: A reused with {B, C} in between (distance 2);
+        // B reused with {C} (distance 1).
+        let tr = trace_of(&[0x000, 0x040, 0x080, 0x040, 0x000]);
+        let h = sampled_reuse_histogram(&tr, 0, 64);
+        assert_eq!(h.reuses, 2);
+        // distance 1 -> bucket 0; distance 2 -> bucket 1.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.cold, 1, "line C sampled once");
+    }
+
+    #[test]
+    fn streaming_has_no_reuse() {
+        let addrs: Vec<u64> = (0..100).map(|i| i * 64).collect();
+        let tr = trace_of(&addrs);
+        let h = sampled_reuse_histogram(&tr, 0, 64);
+        assert_eq!(h.reuses, 0);
+        assert_eq!(h.cold, 100);
+        assert!(h.typical_distance().is_none());
+    }
+
+    #[test]
+    fn typical_distance_and_fraction() {
+        // Repeating scan over 8 lines, 5 times: every reuse distance 7.
+        let mut addrs = Vec::new();
+        for _ in 0..5 {
+            for l in 0..8u64 {
+                addrs.push(l * 64);
+            }
+        }
+        let tr = trace_of(&addrs);
+        let h = sampled_reuse_histogram(&tr, 0, 64);
+        assert_eq!(h.reuses, 32);
+        assert_eq!(h.typical_distance(), Some(4), "distance 7 lands in bucket [4,8)");
+        assert_eq!(h.fraction_below(8), 1.0);
+        assert_eq!(h.fraction_below(4), 0.0);
+    }
+
+    #[test]
+    fn other_cores_ignored() {
+        let tr = trace_of(&[0x0, 0x0]);
+        let h = sampled_reuse_histogram(&tr, 1, 64);
+        assert_eq!(h.reuses, 0);
+        assert_eq!(h.cold, 0);
+    }
+}

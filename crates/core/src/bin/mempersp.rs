@@ -1,0 +1,221 @@
+//! `mempersp` — the command-line front end of the suite.
+//!
+//! ```text
+//! mempersp run  --workload hpcg --nx 16 --iters 6 --cores 2 -o trace.prv
+//! mempersp run  --workload stream|stencil|chase|matmul -o trace.prv
+//! mempersp info trace.prv
+//! mempersp objects trace.prv
+//! mempersp fold trace.prv --region CG_iteration [--csv-dir target/fig1]
+//! ```
+//!
+//! Mirrors the real tool-chain: Extrae writes a trace; the Folding
+//! tool consumes it post-mortem.
+
+use mempersp_core::analysis::latency::latency_profile;
+use mempersp_core::analysis::objects::object_stats;
+use mempersp_core::analysis::phases::iteration_phases;
+use mempersp_core::analysis::reuse::sampled_reuse_histogram;
+use mempersp_core::report::{ascii, figure};
+use mempersp_core::{Machine, MachineConfig};
+use mempersp_extrae::trace_format::{load_trace, save_trace};
+use mempersp_extrae::{Trace, Workload};
+use mempersp_folding::{fold_region, FoldingConfig};
+use mempersp_hpcg::{HpcgConfig, HpcgWorkload};
+use mempersp_workloads::{PointerChase, Stencil7, StreamTriad, TiledMatmul};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mempersp run --workload <hpcg|stream|stencil|chase|matmul> \
+         [--nx N] [--iters N] [--cores N] [--no-group] [--haswell] -o <trace>\n  \
+         mempersp info <trace>\n  mempersp objects <trace>\n  \
+         mempersp fold <trace> --region <name> [--csv-dir <dir>]\n  \
+         mempersp export <trace> [--dir <dir>] [--prefix <name>]\n  \
+         mempersp profile <trace>"
+    );
+    exit(2);
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("objects") => cmd_objects(&args[1..]),
+        Some("fold") => cmd_fold(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Flat sampling profile.
+fn cmd_profile(args: &[String]) {
+    let t = load(args);
+    let (rows, total) = mempersp_core::analysis::profile::flat_profile(&t);
+    println!("{total} timer samples");
+    println!("{:<28} {:>8} {:>7} {:>9}", "region", "self", "self%", "inclusive");
+    for r in rows {
+        println!(
+            "{:<28} {:>8} {:>6.1}% {:>9}",
+            r.region,
+            r.self_samples,
+            100.0 * r.self_fraction(total),
+            r.inclusive_samples
+        );
+    }
+}
+
+/// Export a trace to the Paraver `.prv/.pcf/.row` triple.
+fn cmd_export(args: &[String]) {
+    let t = load(args);
+    let dir = arg_value(args, "--dir").unwrap_or_else(|| "paraver".into());
+    let prefix = arg_value(args, "--prefix").unwrap_or_else(|| "trace".into());
+    let files = mempersp_extrae::paraver::export_paraver(std::path::Path::new(&dir), &prefix, &t)
+        .expect("write paraver files");
+    for f in files {
+        println!("{}", f.display());
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let workload_name = arg_value(args, "--workload").unwrap_or_else(|| usage());
+    let out = arg_value(args, "-o").unwrap_or_else(|| "trace.prv".into());
+    let nx: usize = arg_value(args, "--nx").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let iters: usize = arg_value(args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let cores: usize = arg_value(args, "--cores").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let group = !args.iter().any(|a| a == "--no-group");
+
+    let mut mcfg = if args.iter().any(|a| a == "--haswell") {
+        MachineConfig::haswell(cores)
+    } else {
+        let mut m = MachineConfig::small();
+        m.cores = cores;
+        m
+    };
+    mcfg.counter_sample_period = mcfg.counter_sample_period.min(20_000);
+
+    let mut workload: Box<dyn Workload> = match workload_name.as_str() {
+        "hpcg" => Box::new(HpcgWorkload::new(HpcgConfig {
+            nx,
+            max_iters: iters,
+            mg_levels: if nx.is_multiple_of(8) && nx >= 16 { 4 } else { 3 },
+            group_allocations: group,
+            use_mg: true,
+        })),
+        "stream" => Box::new(StreamTriad::new(nx.max(1024) * 64, iters.max(2))),
+        "stencil" => Box::new(Stencil7::new(nx.max(8), iters.max(2))),
+        "chase" => Box::new(PointerChase::new(nx.max(1024) * 16, nx.max(1024) * 32, 42)),
+        "matmul" => Box::new(TiledMatmul::new(nx.max(32), 8)),
+        other => {
+            eprintln!("unknown workload {other:?}");
+            usage();
+        }
+    };
+
+    let mut machine = Machine::new(mcfg);
+    eprintln!("running {} ...", workload.name());
+    let report = machine.run(workload.as_mut());
+    eprintln!(
+        "done: {} events, {} PEBS samples, {} cycles",
+        report.trace.num_events(),
+        report.trace.pebs_events().count(),
+        report.wall_cycles
+    );
+    save_trace(std::path::Path::new(&out), &report.trace).expect("write trace");
+    eprintln!("trace written to {out}");
+}
+
+fn load(args: &[String]) -> Trace {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| usage());
+    load_trace(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_info(args: &[String]) {
+    let t = load(args);
+    println!("description : {}", t.meta.description);
+    println!("cores       : {}", t.meta.num_cores);
+    println!("freq        : {} MHz", t.meta.freq_mhz);
+    println!("ASLR slide  : 0x{:x}", t.meta.aslr_slide);
+    println!("events      : {}", t.num_events());
+    println!("regions     : {}", t.region_names.join(", "));
+    println!("objects     : {}", t.objects.all().len());
+    println!(
+        "resolution  : {} resolved / {} unresolved PEBS samples",
+        t.resolution.resolved, t.resolution.unresolved
+    );
+    let reuse = sampled_reuse_histogram(&t, 0, 64);
+    if let Some(d) = reuse.typical_distance() {
+        println!("reuse       : typical sampled reuse distance ≈ {d} lines ({} reuses)", reuse.reuses);
+    }
+}
+
+fn cmd_objects(args: &[String]) {
+    let t = load(args);
+    let stats = object_stats(&t, None);
+    println!(
+        "{:<44} {:>8} {:>8} {:>9} {:>8}",
+        "object", "loads", "stores", "mean lat", "flags"
+    );
+    for o in &stats {
+        println!(
+            "{:<44} {:>8} {:>8} {:>9.1} {:>8}",
+            o.name,
+            o.loads,
+            o.stores,
+            o.mean_latency,
+            if o.is_read_only() { "RO" } else { "" }
+        );
+    }
+    if let Some(p) = latency_profile(&t, None, false) {
+        println!(
+            "\nload latency: min {} p50 {} p90 {} p99 {} max {} (mean {:.1})",
+            p.min, p.p50, p.p90, p.p99, p.max, p.mean
+        );
+    }
+}
+
+fn cmd_fold(args: &[String]) {
+    let t = load(args);
+    let region = arg_value(args, "--region").unwrap_or_else(|| usage());
+    let folded = match fold_region(&t, &region, &FoldingConfig::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fold failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "folded {} instances of {region:?} (rejected {}), mean {:.3} ms, mean {:.0} MIPS",
+        folded.instances_used,
+        folded.instances_rejected,
+        folded.duration_ms(),
+        folded.mean_mips()
+    );
+    print!("{}", ascii::address_panel(&folded, 96, 20));
+    print!("{}", ascii::performance_panel(&folded, 80));
+
+    if let Some(dir) = arg_value(args, "--csv-dir") {
+        let phases = iteration_phases(&t, &region, "ComputeSYMGS_ref", "ComputeSPMV_ref", 0);
+        let files = figure::write_figure_bundle(
+            std::path::Path::new(&dir),
+            "fold",
+            &format!("{} — folded {}", t.meta.description, region),
+            &folded,
+            &t,
+            &phases,
+        )
+        .expect("write bundle");
+        eprintln!("wrote {} files to {dir}", files.len());
+    }
+}

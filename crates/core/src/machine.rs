@@ -1,0 +1,617 @@
+//! The simulated machine: cores + hierarchy + PMU + PEBS + tracer.
+//!
+//! Timing model (documented in DESIGN.md):
+//!
+//! * non-memory instructions retire at `base_cpi` cycles each;
+//! * an L1-hit access costs `l1_hit_cost` cycles (store-to-load
+//!   forwarding and pipelining hide most of the 4-cycle latency);
+//! * a miss costs `latency / overlap`, where `overlap` is the
+//!   workload-declared memory-level parallelism of the running kernel
+//!   (dependent Gauss–Seidel sweeps overlap ~2 misses, streaming SpMV
+//!   ~6) — the stand-in for an out-of-order window;
+//! * the cycle clock is per core; [`AppContext::barrier`] aligns all
+//!   clocks to the maximum (idle cycles still advance the cycle
+//!   counter, as a busy-wait would).
+
+use mempersp_extrae::{AppContext, CodeLocation, Ip, Trace, Tracer, TracerConfig, Workload};
+use mempersp_memsim::{AccessKind, HierarchyConfig, MemLevel, MemorySystem};
+use mempersp_pebs::{
+    EventKind, MemOp, MultiplexStats, Multiplexer, PebsEvent, Pmu, SamplingConfig,
+};
+
+/// Which cores capture PEBS samples.
+///
+/// The paper's figure shows one process's address space, so the
+/// default samples core 0 only; `All` is useful for aggregate studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PebsCoreSelect {
+    All,
+    Only(usize),
+}
+
+impl PebsCoreSelect {
+    fn includes(&self, core: usize) -> bool {
+        match self {
+            PebsCoreSelect::All => true,
+            PebsCoreSelect::Only(c) => *c == core,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    pub cores: usize,
+    pub hierarchy: HierarchyConfig,
+    pub tracer: TracerConfig,
+    /// Cycles per non-memory instruction.
+    pub base_cpi: f64,
+    /// Effective cycles charged for an L1-hit access.
+    pub l1_hit_cost: f64,
+    /// Memory-level parallelism assumed before the workload's first
+    /// `set_overlap` call.
+    pub default_overlap: f64,
+    /// Period of the Extrae-style timer sampling, in cycles.
+    pub counter_sample_period: u64,
+    /// PEBS events to multiplex (empty disables memory sampling).
+    pub pebs_events: Vec<SamplingConfig>,
+    /// Length of each multiplexing slice, in cycles.
+    pub mux_slice_cycles: u64,
+    /// Which cores run PEBS.
+    pub pebs_cores: PebsCoreSelect,
+}
+
+impl MachineConfig {
+    /// A small single-core machine for tests and examples: tiny
+    /// hierarchy, aggressive sampling so short runs yield samples.
+    pub fn small() -> Self {
+        Self {
+            cores: 1,
+            hierarchy: HierarchyConfig::small_test(),
+            tracer: TracerConfig { freq_mhz: 2000, ..Default::default() },
+            base_cpi: 0.25,
+            l1_hit_cost: 0.5,
+            default_overlap: 4.0,
+            counter_sample_period: 2_000,
+            pebs_events: vec![
+                SamplingConfig {
+                    event: PebsEvent::LoadLatency { threshold: 0 },
+                    period: 97,
+                    randomization: 0.1,
+                    seed: 11,
+                },
+                SamplingConfig {
+                    event: PebsEvent::AllStores,
+                    period: 53,
+                    randomization: 0.1,
+                    seed: 13,
+                },
+            ],
+            mux_slice_cycles: 5_000,
+            pebs_cores: PebsCoreSelect::All,
+        }
+    }
+
+    /// A Haswell-node-like machine with `cores` cores (the paper's
+    /// platform), PEBS on core 0, paper-style sampling rates.
+    pub fn haswell(cores: usize) -> Self {
+        Self {
+            cores,
+            hierarchy: HierarchyConfig::haswell_like(),
+            tracer: TracerConfig { freq_mhz: 2500, ..Default::default() },
+            base_cpi: 0.25,
+            l1_hit_cost: 0.5,
+            default_overlap: 4.0,
+            counter_sample_period: 100_000,
+            pebs_events: vec![
+                SamplingConfig {
+                    event: PebsEvent::LoadLatency { threshold: 0 },
+                    period: 1009,
+                    randomization: 0.1,
+                    seed: 101,
+                },
+                SamplingConfig {
+                    event: PebsEvent::AllStores,
+                    period: 499,
+                    randomization: 0.1,
+                    seed: 103,
+                },
+            ],
+            mux_slice_cycles: 250_000,
+            pebs_cores: PebsCoreSelect::Only(0),
+        }
+    }
+}
+
+/// Everything a monitored run produces.
+#[derive(Debug)]
+pub struct RunReport {
+    pub trace: Trace,
+    /// Hardware statistics accumulated over the whole run.
+    pub stats: mempersp_memsim::SystemStats,
+    /// Per-core multiplexer statistics (index = core).
+    pub mux_stats: Vec<Option<MultiplexStats>>,
+    /// Final cycle of the slowest core.
+    pub wall_cycles: u64,
+}
+
+impl RunReport {
+    /// Wall-clock seconds at the nominal frequency.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_cycles as f64 / (self.trace.meta.freq_mhz as f64 * 1e6)
+    }
+}
+
+struct CoreState {
+    pmu: Pmu,
+    /// Clock with sub-cycle remainder.
+    clock_f: f64,
+    overlap: f64,
+    next_sample_at: u64,
+    mux: Option<Multiplexer>,
+    last_mux_index: usize,
+}
+
+impl CoreState {
+    fn clock(&self) -> u64 {
+        self.clock_f as u64
+    }
+}
+
+/// The simulated machine.
+///
+/// ```
+/// use mempersp_core::{Machine, MachineConfig};
+/// use mempersp_extrae::{AppContext, CodeLocation, Workload};
+///
+/// struct Touch;
+/// impl Workload for Touch {
+///     fn name(&self) -> String { "touch".into() }
+///     fn run(&mut self, ctx: &mut dyn AppContext) {
+///         let ip = ctx.location("touch.rs", 1, "touch");
+///         let base = ctx.malloc(0, 4096, &CodeLocation::new("touch.rs", 2, "t"));
+///         ctx.enter(0, "touch");
+///         for i in 0..512u64 {
+///             ctx.load(0, ip, base + i * 8, 8);
+///         }
+///         ctx.exit(0, "touch");
+///     }
+/// }
+///
+/// let mut machine = Machine::new(MachineConfig::small());
+/// let report = machine.run(&mut Touch);
+/// assert_eq!(report.stats.total_cores().loads, 512);
+/// assert!(report.trace.region_id("touch").is_some());
+/// ```
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    tracer: Tracer,
+    cores: Vec<CoreState>,
+    static_next: u64,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.cores >= 1);
+        assert!(cfg.base_cpi > 0.0 && cfg.l1_hit_cost >= 0.0);
+        assert!(cfg.default_overlap >= 1.0, "overlap < 1 would amplify latencies");
+        let mem = MemorySystem::new(cfg.hierarchy.clone(), cfg.cores);
+        let tracer = Tracer::new(cfg.tracer, cfg.cores);
+        let cores = (0..cfg.cores)
+            .map(|c| CoreState {
+                pmu: Pmu::new(),
+                clock_f: 0.0,
+                overlap: cfg.default_overlap,
+                next_sample_at: cfg.counter_sample_period.max(1),
+                mux: if cfg.pebs_cores.includes(c) && !cfg.pebs_events.is_empty() {
+                    Some(Multiplexer::new(cfg.pebs_events.clone(), cfg.mux_slice_cycles))
+                } else {
+                    None
+                },
+                last_mux_index: 0,
+            })
+            .collect();
+        Self { cfg, mem, tracer, cores, static_next: 0x0060_0000 }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Run a workload to completion and produce the report. The
+    /// machine resets its tracer afterwards and can be reused; caches,
+    /// PMU counts and clocks deliberately persist (a warm node), so
+    /// use a fresh machine for independent experiments.
+    pub fn run(&mut self, workload: &mut dyn Workload) -> RunReport {
+        workload.run(self);
+        let name = workload.name();
+        let tracer = std::mem::replace(&mut self.tracer, Tracer::new(self.cfg.tracer, self.cfg.cores));
+        let trace = tracer.finish(&name);
+        RunReport {
+            trace,
+            stats: self.mem.stats(),
+            mux_stats: self.cores.iter().map(|c| c.mux.as_ref().map(|m| m.stats())).collect(),
+            wall_cycles: self.cores.iter().map(|c| c.clock()).max().unwrap_or(0),
+        }
+    }
+
+    /// Advance `core`'s clock by `cycles` and keep its cycle counter
+    /// coherent.
+    fn advance(&mut self, core: usize, cycles: f64) {
+        let st = &mut self.cores[core];
+        let before = st.clock();
+        st.clock_f += cycles;
+        let after = st.clock();
+        st.pmu.add(EventKind::Cycles, after - before);
+    }
+
+    /// Fire any due timer samples on `core`, attributing them to `ip`.
+    fn poll_timer(&mut self, core: usize, ip: Ip) {
+        loop {
+            let st = &mut self.cores[core];
+            let now = st.clock();
+            if now < st.next_sample_at {
+                break;
+            }
+            let at = st.next_sample_at;
+            let snap = st.pmu.snapshot();
+            st.next_sample_at += self.cfg.counter_sample_period.max(1);
+            self.tracer.record_counter_sample(core, ip, snap, at);
+        }
+    }
+
+    fn mem_access(&mut self, core: usize, ip: Ip, addr: u64, size: u32, kind: AccessKind) {
+        let now = self.cores[core].clock();
+        let res = self.mem.access(core, kind, addr, size, now);
+
+        // PMU accounting.
+        {
+            let pmu = &mut self.cores[core].pmu;
+            pmu.add(EventKind::Instructions, 1);
+            pmu.add(
+                if kind == AccessKind::Store { EventKind::Stores } else { EventKind::Loads },
+                1,
+            );
+            if res.source > MemLevel::L1 {
+                pmu.add(EventKind::L1dMiss, 1);
+            }
+            if res.source > MemLevel::L2 {
+                pmu.add(EventKind::L2Miss, 1);
+            }
+            if res.source > MemLevel::L3 {
+                pmu.add(EventKind::L3Miss, 1);
+            }
+            if res.tlb_miss {
+                pmu.add(EventKind::TlbMiss, 1);
+            }
+        }
+
+        // Cycle cost, attributed to the serving level for the
+        // CPI-stack analysis (the L1-hit cost counts as base pipeline
+        // work, not stall).
+        let stall = if res.source == MemLevel::L1 && !res.tlb_miss {
+            self.cfg.l1_hit_cost
+        } else {
+            (res.latency as f64 / self.cores[core].overlap).max(self.cfg.l1_hit_cost)
+        };
+        let stall_cycles = (stall - self.cfg.l1_hit_cost).max(0.0).round() as u64;
+        if stall_cycles > 0 {
+            let kind = match res.source {
+                MemLevel::L1 | MemLevel::L2 => EventKind::StallL2,
+                MemLevel::L3 => EventKind::StallL3,
+                MemLevel::Dram => EventKind::StallDram,
+            };
+            self.cores[core].pmu.add(kind, stall_cycles);
+        }
+        self.advance(core, stall);
+
+        // PEBS.
+        if self.cores[core].mux.is_some() {
+            let op = MemOp {
+                ip: ip.0,
+                addr,
+                size,
+                kind,
+                latency: res.latency,
+                source: res.source,
+                tlb_miss: res.tlb_miss,
+            };
+            let now = self.cores[core].clock();
+            let st = &mut self.cores[core];
+            let mux = st.mux.as_mut().expect("checked above");
+            let idx = mux.active_index(now);
+            let rotated = idx != st.last_mux_index;
+            st.last_mux_index = idx;
+            let sample = mux.observe(core, &op, now);
+            let label = rotated.then(|| {
+                mux.stats().per_event[idx].0.clone()
+            });
+            if let Some(label) = label {
+                self.tracer.record_mux_switch(core, idx, &label, now);
+            }
+            if let Some(s) = sample {
+                self.tracer.record_pebs(s);
+            }
+        }
+
+        self.poll_timer(core, ip);
+    }
+}
+
+impl AppContext for Machine {
+    fn core_count(&self) -> usize {
+        self.cfg.cores
+    }
+
+    fn location(&mut self, file: &str, line: u32, function: &str) -> Ip {
+        self.tracer.location(file, line, function)
+    }
+
+    fn malloc(&mut self, core: usize, size: u64, callsite: &CodeLocation) -> u64 {
+        let now = self.cores[core].clock();
+        self.tracer.malloc(size, callsite, now)
+    }
+
+    fn free(&mut self, core: usize, addr: u64) {
+        let now = self.cores[core].clock();
+        self.tracer.free(addr, now);
+    }
+
+    fn begin_alloc_group(&mut self, name: &str) {
+        self.tracer.begin_alloc_group(name);
+    }
+
+    fn end_alloc_group(&mut self) {
+        let _ = self.tracer.end_alloc_group();
+    }
+
+    fn register_static(&mut self, name: &str, size: u64) -> u64 {
+        let base = self.static_next;
+        self.static_next += (size + 63) & !63;
+        self.tracer.register_static(name, base, size);
+        base
+    }
+
+    fn enter(&mut self, core: usize, region: &str) {
+        let snap = self.cores[core].pmu.snapshot();
+        let now = self.cores[core].clock();
+        self.tracer.enter(core, region, snap, now);
+    }
+
+    fn exit(&mut self, core: usize, region: &str) {
+        let snap = self.cores[core].pmu.snapshot();
+        let now = self.cores[core].clock();
+        self.tracer.exit(core, region, snap, now);
+    }
+
+    fn load(&mut self, core: usize, ip: Ip, addr: u64, size: u32) {
+        self.mem_access(core, ip, addr, size, AccessKind::Load);
+    }
+
+    fn store(&mut self, core: usize, ip: Ip, addr: u64, size: u32) {
+        self.mem_access(core, ip, addr, size, AccessKind::Store);
+    }
+
+    fn compute(&mut self, core: usize, ip: Ip, instructions: u64, branches: u64) {
+        {
+            let pmu = &mut self.cores[core].pmu;
+            pmu.add(EventKind::Instructions, instructions);
+            pmu.add(EventKind::Branches, branches);
+        }
+        self.advance(core, instructions as f64 * self.cfg.base_cpi);
+        self.poll_timer(core, ip);
+    }
+
+    fn set_overlap(&mut self, core: usize, overlap: f64) {
+        assert!(overlap >= 1.0, "overlap must be >= 1");
+        self.cores[core].overlap = overlap;
+    }
+
+    fn barrier(&mut self) {
+        let max = self
+            .cores
+            .iter()
+            .map(|c| c.clock_f)
+            .fold(0.0f64, f64::max);
+        for core in 0..self.cores.len() {
+            let delta = max - self.cores[core].clock_f;
+            if delta > 0.0 {
+                self.advance(core, delta);
+            }
+        }
+    }
+
+    fn now(&self, core: usize) -> u64 {
+        self.cores[core].clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::events::EventPayload;
+
+    /// A micro-workload: streams over one array, then pointer-hops.
+    struct Micro {
+        n: usize,
+    }
+
+    impl Workload for Micro {
+        fn name(&self) -> String {
+            "micro".into()
+        }
+
+        fn run(&mut self, ctx: &mut dyn AppContext) {
+            let ip = ctx.location("micro.rs", 1, "micro");
+            let base = ctx.malloc(0, (self.n * 8) as u64, &CodeLocation::new("micro.rs", 2, "m"));
+            ctx.enter(0, "stream");
+            ctx.set_overlap(0, 8.0);
+            for i in 0..self.n {
+                ctx.load(0, ip, base + (i * 8) as u64, 8);
+                ctx.compute(0, ip, 2, 1);
+            }
+            ctx.exit(0, "stream");
+            ctx.enter(0, "stores");
+            for i in 0..self.n {
+                ctx.store(0, ip, base + (i * 8) as u64, 8);
+                ctx.compute(0, ip, 2, 1);
+            }
+            ctx.exit(0, "stores");
+        }
+    }
+
+    #[test]
+    fn run_produces_trace_and_stats() {
+        let mut m = Machine::new(MachineConfig::small());
+        let rep = m.run(&mut Micro { n: 4096 });
+        assert!(rep.trace.num_events() > 10);
+        assert!(rep.wall_cycles > 0);
+        assert!(rep.wall_seconds() > 0.0);
+        let total = rep.stats.total_cores();
+        assert_eq!(total.loads, 4096);
+        assert_eq!(total.stores, 4096);
+        // Counter coherence: PMU loads equal memsim loads.
+        let exit = rep
+            .trace
+            .events
+            .iter()
+            .rev()
+            .find_map(|e| match &e.payload {
+                EventPayload::RegionExit { counters, .. } => Some(*counters),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(exit.get(EventKind::Loads), 4096);
+        assert_eq!(exit.get(EventKind::Stores), 4096);
+        assert!(exit.get(EventKind::Instructions) >= 4 * 4096);
+    }
+
+    #[test]
+    fn pebs_samples_are_captured_and_resolved() {
+        let mut m = Machine::new(MachineConfig::small());
+        let rep = m.run(&mut Micro { n: 50_000 });
+        let pebs: Vec<_> = rep.trace.pebs_events().collect();
+        assert!(pebs.len() > 20, "expected plenty of samples, got {}", pebs.len());
+        // The array is one big tracked allocation: samples resolve.
+        assert!(rep.trace.resolution.resolved > 0);
+        assert_eq!(rep.trace.resolution.unresolved, 0);
+        // Multiplexing captured both loads and stores in one run.
+        let loads = pebs.iter().filter(|(_, s, _)| !s.is_store).count();
+        let stores = pebs.iter().filter(|(_, s, _)| s.is_store).count();
+        assert!(loads > 0 && stores > 0, "loads {loads} stores {stores}");
+    }
+
+    #[test]
+    fn timer_samples_appear_at_configured_rate() {
+        let mut m = Machine::new(MachineConfig::small());
+        let rep = m.run(&mut Micro { n: 20_000 });
+        let samples = rep
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.payload, EventPayload::CounterSample { .. }))
+            .count();
+        let expect = rep.wall_cycles / 2_000;
+        assert!(
+            (samples as i64 - expect as i64).unsigned_abs() <= expect / 4 + 2,
+            "samples {samples}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn overlap_reduces_runtime() {
+        let run_with = |overlap: f64| {
+            struct W {
+                overlap: f64,
+            }
+            impl Workload for W {
+                fn name(&self) -> String {
+                    "w".into()
+                }
+                fn run(&mut self, ctx: &mut dyn AppContext) {
+                    let ip = ctx.location("w.rs", 1, "w");
+                    let base =
+                        ctx.malloc(0, 1 << 22, &CodeLocation::new("w.rs", 2, "w"));
+                    ctx.set_overlap(0, self.overlap);
+                    ctx.enter(0, "r");
+                    for i in 0..40_000u64 {
+                        ctx.load(0, ip, base + i * 64, 8);
+                    }
+                    ctx.exit(0, "r");
+                }
+            }
+            let mut m = Machine::new(MachineConfig::small());
+            m.run(&mut W { overlap }).wall_cycles
+        };
+        let serial = run_with(1.0);
+        let parallel = run_with(8.0);
+        assert!(
+            parallel * 2 < serial,
+            "8-way overlap ({parallel}) should be far faster than serial ({serial})"
+        );
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        struct W;
+        impl Workload for W {
+            fn name(&self) -> String {
+                "w".into()
+            }
+            fn run(&mut self, ctx: &mut dyn AppContext) {
+                let ip = ctx.location("w.rs", 1, "w");
+                ctx.compute(0, ip, 10_000, 0);
+                ctx.compute(1, ip, 100, 0);
+                ctx.barrier();
+                assert_eq!(ctx.now(0), ctx.now(1));
+            }
+        }
+        let mut cfg = MachineConfig::small();
+        cfg.cores = 2;
+        let mut m = Machine::new(cfg);
+        let _ = m.run(&mut W);
+    }
+
+    #[test]
+    fn pebs_core_selection_restricts_sampling() {
+        struct W;
+        impl Workload for W {
+            fn name(&self) -> String {
+                "w".into()
+            }
+            fn run(&mut self, ctx: &mut dyn AppContext) {
+                let ip = ctx.location("w.rs", 1, "w");
+                let b0 = ctx.malloc(0, 1 << 20, &CodeLocation::new("w.rs", 2, "w"));
+                ctx.enter(0, "r");
+                ctx.enter(1, "r");
+                for i in 0..30_000u64 {
+                    ctx.load(0, ip, b0 + (i % 1000) * 8, 8);
+                    ctx.load(1, ip, b0 + (i % 1000) * 8, 8);
+                }
+                ctx.exit(1, "r");
+                ctx.exit(0, "r");
+            }
+        }
+        let mut cfg = MachineConfig::small();
+        cfg.cores = 2;
+        cfg.pebs_cores = PebsCoreSelect::Only(1);
+        let mut m = Machine::new(cfg);
+        let rep = m.run(&mut W);
+        assert!(rep.mux_stats[0].is_none());
+        assert!(rep.mux_stats[1].is_some());
+        assert!(rep.trace.pebs_events().all(|(_, s, _)| s.core == 1));
+        assert!(rep.trace.pebs_events().count() > 0);
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::small());
+            let rep = m.run(&mut Micro { n: 10_000 });
+            (rep.wall_cycles, rep.trace.num_events())
+        };
+        assert_eq!(run(), run());
+    }
+}

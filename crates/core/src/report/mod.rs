@@ -1,0 +1,5 @@
+//! Report emission: the paper's three-panel figure as CSV + gnuplot
+//! and as ASCII art for terminal inspection.
+
+pub mod ascii;
+pub mod figure;

@@ -1,0 +1,259 @@
+//! The paper's complete work-flow, packaged: run HPCG on the
+//! simulated node, fold the repetitive regions, and extract every
+//! quantitative observation of Section III.
+
+use crate::analysis::bandwidth::{phase_bandwidths, PhaseBandwidth};
+use crate::analysis::objects::{object_stats, resolved_fraction, ObjectStat};
+use crate::analysis::phases::{iteration_phases, Phase};
+use crate::analysis::sweeps::{sweep_split_x, symgs_sweeps, SweepInfo};
+use crate::machine::{Machine, MachineConfig, RunReport};
+use mempersp_extrae::ObjectId;
+use mempersp_folding::{fold_region, FoldedRegion, FoldingConfig};
+use mempersp_hpcg::generate::{expected_matrix_group_bytes, GROUP_MAP, GROUP_MATRIX};
+use mempersp_hpcg::kernels::{SYMGS_BWD_LINES, SYMGS_FILE, SYMGS_FWD_LINES};
+use mempersp_hpcg::{regions, Geometry, HpcgConfig, HpcgWorkload};
+
+/// Everything the paper reads off its Fig. 1 and Section III text.
+#[derive(Debug)]
+pub struct HpcgAnalysis {
+    pub report: RunReport,
+    /// Per-rank solver results (numerical validation).
+    pub solver: Vec<mempersp_hpcg::CgResult>,
+    /// The folded CG iteration (the figure's time axis).
+    pub folded_iteration: FoldedRegion,
+    /// The folded fine-level SYMGS (for the a1/a2 sweeps).
+    pub folded_symgs: FoldedRegion,
+    /// Detected phases A–E in folded iteration time.
+    pub phases: Vec<Phase>,
+    /// Rank-0's matrix allocation group (the 617 MB object), if
+    /// grouping was enabled.
+    pub matrix_object: Option<ObjectId>,
+    /// Rank-0's map allocation group (the 89 MB object).
+    pub map_object: Option<ObjectId>,
+    /// Forward/backward sweep summaries within the folded SYMGS.
+    pub sweeps: Option<(SweepInfo, SweepInfo)>,
+    /// Traversal bandwidths of a1, a2 (SYMGS halves) and B, E (SpMV).
+    pub bandwidths: Vec<PhaseBandwidth>,
+    /// Per-object PEBS statistics within the execution phase.
+    pub objects: Vec<ObjectStat>,
+    /// Fraction of execution-phase PEBS samples resolved to objects.
+    pub resolved_fraction: f64,
+}
+
+/// Run the benchmark and the full analysis.
+pub fn analyze_hpcg(machine_cfg: MachineConfig, hpcg_cfg: HpcgConfig) -> HpcgAnalysis {
+    let geom = Geometry::cube(hpcg_cfg.nx);
+    let mut machine = Machine::new(machine_cfg);
+    let mut workload = HpcgWorkload::new(hpcg_cfg);
+    let report = machine.run(&mut workload);
+    let trace = &report.trace;
+
+    let fold_cfg = FoldingConfig::default();
+    let folded_iteration =
+        fold_region(trace, regions::CG_ITERATION, &fold_cfg).expect("CG iterations present");
+    // The SYMGS region has instances at every MG level; fold only the
+    // slowest duration cluster — the fine-level calls the figure shows.
+    let symgs_cfg = FoldingConfig {
+        filter: mempersp_folding::InstanceFilter::slowest_cluster(0.5),
+        ..FoldingConfig::default()
+    };
+    let folded_symgs =
+        fold_region(trace, regions::SYMGS, &symgs_cfg).expect("SYMGS instances present");
+
+    let phases = iteration_phases(trace, regions::CG_ITERATION, regions::SYMGS, regions::SPMV, 0);
+
+    let find_group = |name: &str| {
+        trace
+            .objects
+            .all()
+            .iter()
+            .find(|o| o.name == name)
+            .map(|o| o.id)
+    };
+    let matrix_object = find_group(GROUP_MATRIX);
+    let map_object = find_group(GROUP_MAP);
+
+    let sweeps = matrix_object.and_then(|obj| {
+        symgs_sweeps(
+            &folded_symgs,
+            trace,
+            obj,
+            SYMGS_FILE,
+            SYMGS_FWD_LINES,
+            SYMGS_BWD_LINES,
+            (0.0, 1.0),
+        )
+    });
+
+    // Bandwidths: each SYMGS sweep and each SpMV traverses the matrix
+    // structure once. The paper divides the structure size by the
+    // phase duration.
+    let traversal_bytes = expected_matrix_group_bytes(geom);
+    let mut bandwidths = Vec::new();
+    if let Some((fwd, bwd)) = &sweeps {
+        let split = sweep_split_x(fwd, bwd);
+        let symgs_phase = Phase {
+            label: "SYMGS".into(),
+            region: regions::SYMGS.into(),
+            x_start: 0.0,
+            x_end: 1.0,
+        };
+        let (a1, a2) = symgs_phase.split(split, "a1", "a2");
+        bandwidths.extend(phase_bandwidths(&folded_symgs, &[a1, a2], traversal_bytes));
+    }
+    let spmv_phases: Vec<Phase> = phases
+        .iter()
+        .filter(|p| p.label == "B" || p.label == "E")
+        .cloned()
+        .collect();
+    bandwidths.extend(phase_bandwidths(&folded_iteration, &spmv_phases, traversal_bytes));
+
+    // Per-object statistics within the execution phase on core 0.
+    let exec_window = trace
+        .region_id(regions::EXECUTION)
+        .map(|id| trace.region_instances(id, 0))
+        .and_then(|v| v.first().copied());
+    let objects = object_stats(trace, exec_window);
+    let resolved = resolved_fraction(&objects);
+
+    HpcgAnalysis {
+        solver: workload.results.clone(),
+        folded_iteration,
+        folded_symgs,
+        phases,
+        matrix_object,
+        map_object,
+        sweeps,
+        bandwidths,
+        objects,
+        resolved_fraction: resolved,
+        report,
+    }
+}
+
+impl HpcgAnalysis {
+    /// Bandwidth of one labelled phase (a1/a2/B/E), in MB/s.
+    pub fn bandwidth(&self, label: &str) -> Option<f64> {
+        self.bandwidths
+            .iter()
+            .find(|b| b.label == label)
+            .map(|b| b.mb_per_s)
+    }
+
+    /// The matrix object's statistics, if sampled.
+    pub fn matrix_stats(&self) -> Option<&ObjectStat> {
+        let id = self.matrix_object?;
+        self.objects.iter().find(|s| s.id == Some(id))
+    }
+
+    /// A machine-readable record of the key metrics (written next to
+    /// the figure bundle so experiments are reproducible artifacts).
+    pub fn json_summary(&self) -> serde_json::Value {
+        serde_json::json!({
+            "iterations_folded": self.folded_iteration.instances_used,
+            "iterations_rejected": self.folded_iteration.instances_rejected,
+            "mean_iteration_ms": self.folded_iteration.duration_ms(),
+            "mean_mips": self.folded_iteration.mean_mips(),
+            "ipc_nominal": self.folded_iteration.mean_mips()
+                / self.report.trace.meta.freq_mhz as f64,
+            "phases": self.phases.iter().map(|p| {
+                serde_json::json!({
+                    "label": p.label,
+                    "region": p.region,
+                    "x_start": p.x_start,
+                    "x_end": p.x_end,
+                })
+            }).collect::<Vec<_>>(),
+            "bandwidth_mb_per_s": self.bandwidths.iter().map(|b| {
+                serde_json::json!({ "phase": b.label, "mb_per_s": b.mb_per_s })
+            }).collect::<Vec<_>>(),
+            "sweeps": self.sweeps.as_ref().map(|(f, b)| serde_json::json!({
+                "forward": format!("{:?}", f.direction),
+                "backward": format!("{:?}", b.direction),
+            })),
+            "resolved_fraction": self.resolved_fraction,
+            "matrix_read_only": self.matrix_stats().map(|s| s.is_read_only()),
+            "solver_residual_reduction": self.solver.first().map(|r| r.reduction()),
+        })
+    }
+
+    /// A one-screen textual summary of the whole analysis.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== mempersp HPCG analysis =================================");
+        let _ = writeln!(
+            out,
+            "iterations folded: {} (rejected {}), mean duration {:.3} ms",
+            self.folded_iteration.instances_used,
+            self.folded_iteration.instances_rejected,
+            self.folded_iteration.duration_ms()
+        );
+        let _ = writeln!(out, "mean MIPS: {:.0}", self.folded_iteration.mean_mips());
+        if let Some(rmse) = self
+            .folded_iteration
+            .fit_rmse(mempersp_pebs::EventKind::Instructions)
+        {
+            let _ = writeln!(out, "fold quality: instruction-curve RMSE {:.3} (normalized)", rmse);
+        }
+        let _ = writeln!(out, "phases:");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {}  {:<22} x=[{:.3},{:.3}] ({:.1} % of iteration)",
+                p.label,
+                p.region,
+                p.x_start,
+                p.x_end,
+                100.0 * p.fraction()
+            );
+        }
+        if let Some((fwd, bwd)) = &self.sweeps {
+            let _ = writeln!(
+                out,
+                "SYMGS sweeps: fwd {:?} (slope {:+.3e}), bwd {:?} (slope {:+.3e})",
+                fwd.direction, fwd.slope, bwd.direction, bwd.slope
+            );
+        }
+        let _ = writeln!(out, "traversal bandwidths:");
+        for b in &self.bandwidths {
+            let _ = writeln!(out, "  {:<3} {:>9.0} MB/s over {:.3} ms", b.label, b.mb_per_s, b.seconds * 1e3);
+        }
+        let stack = crate::analysis::cpi::cpi_stack_mean(&self.folded_iteration);
+        let _ = writeln!(
+            out,
+            "CPI stack: total {:.2} = base {:.2} + L2 {:.2} + L3 {:.2} + DRAM {:.2}  ({:.0} % memory-bound)",
+            stack.total,
+            stack.base,
+            stack.l2,
+            stack.l3,
+            stack.dram,
+            100.0 * stack.memory_bound_fraction()
+        );
+        let _ = writeln!(
+            out,
+            "PEBS samples resolved to objects: {:.1} %",
+            100.0 * self.resolved_fraction
+        );
+        let _ = writeln!(out, "top objects by samples:");
+        for o in self.objects.iter().take(6) {
+            let _ = writeln!(
+                out,
+                "  {:<40} loads {:>6} stores {:>6} mean lat {:>6.1}{}",
+                o.name,
+                o.loads,
+                o.stores,
+                o.mean_latency,
+                if o.is_read_only() { "  [read-only]" } else { "" }
+            );
+        }
+        let _ = writeln!(out, "dominant data streams per phase:");
+        let tables = crate::analysis::streams::phase_streams(
+            &self.folded_iteration,
+            &self.report.trace,
+            &self.phases,
+        );
+        out.push_str(&crate::analysis::streams::streams_report(&tables));
+        out
+    }
+}

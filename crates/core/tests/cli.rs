@@ -1,0 +1,124 @@
+//! Black-box tests of the `mempersp` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mempersp"))
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("mempersp_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn run_info_objects_fold_pipeline() {
+    let dir = tmpdir();
+    let trace = dir.join("hpcg.prv");
+
+    // run
+    let out = bin()
+        .args([
+            "run", "--workload", "hpcg", "--nx", "8", "--iters", "2", "--cores", "1", "-o",
+        ])
+        .arg(&trace)
+        .output()
+        .expect("spawn mempersp run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    // info
+    let out = bin().arg("info").arg(&trace).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("HPCG"), "info mentions the workload: {text}");
+    assert!(text.contains("CG_iteration"), "regions listed");
+
+    // objects
+    let out = bin().arg("objects").arg(&trace).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("124_GenerateProblem_ref.cpp"), "{text}");
+    assert!(text.contains("RO"), "matrix flagged read-only: {text}");
+
+    // fold, with the CSV bundle
+    let csv_dir = dir.join("csv");
+    let out = bin()
+        .args(["fold"])
+        .arg(&trace)
+        .args(["--region", "CG_iteration", "--csv-dir"])
+        .arg(&csv_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("folded 2 instances"), "{text}");
+    assert!(text.contains("MIPS"), "{text}");
+    for f in ["fold_lines.csv", "fold_addresses.csv", "fold_perf.csv", "fold.gp"] {
+        assert!(csv_dir.join(f).exists(), "{f} missing");
+    }
+
+    // flat profile
+    let out = bin().arg("profile").arg(&trace).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ComputeSYMGS_ref"), "{text}");
+    assert!(text.contains("self%"), "{text}");
+
+    // export to Paraver
+    let pdir = dir.join("paraver");
+    let out = bin()
+        .args(["export"])
+        .arg(&trace)
+        .args(["--dir"])
+        .arg(&pdir)
+        .args(["--prefix", "hpcg"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    for ext in ["prv", "pcf", "row"] {
+        let f = pdir.join(format!("hpcg.{ext}"));
+        assert!(f.exists(), "{} missing", f.display());
+    }
+    let pcf = std::fs::read_to_string(pdir.join("hpcg.pcf")).unwrap();
+    assert!(pcf.contains("124_GenerateProblem_ref.cpp"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fold_unknown_region_fails_cleanly() {
+    let dir = tmpdir();
+    let trace = dir.join("stream.prv");
+    let out = bin()
+        .args(["run", "--workload", "stream", "-o"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["fold"])
+        .arg(&trace)
+        .args(["--region", "nonexistent"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fold failed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["run", "--workload", "bogus", "-o", "x"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn info_on_missing_file_fails() {
+    let out = bin().args(["info", "/nonexistent/file.prv"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,304 @@
+//! Export to the BSC Paraver trace format.
+//!
+//! Real Extrae writes three files that Paraver (and the Folding tool)
+//! consume:
+//!
+//! * `.prv` — the trace body: header plus one record per line;
+//!   state records (`1:`), event records (`2:`) and communication
+//!   records (unused here);
+//! * `.pcf` — the configuration: event-type and value labels;
+//! * `.row` — object (thread) names.
+//!
+//! This module emits that format from a [`Trace`]. The mapping:
+//!
+//! * region enter/exit → event type 60000019 ("Executing function")
+//!   with the region id + 1 as value, 0 on exit — the convention
+//!   Extrae uses for user functions;
+//! * hardware counters → one event type per counter
+//!   (42000050 + index), emitted at enter/exit/sample records;
+//! * PEBS samples → the event types the paper's extension added:
+//!   address (32000000), latency (32000001), memory level (32000002),
+//!   load/store (32000003), plus the resolved object id (32000004);
+//! * the sampled instruction pointer → 30000000 with the synthetic ip.
+//!
+//! Timestamps are nanoseconds, as Paraver expects.
+
+use crate::events::EventPayload;
+use crate::tracer::Trace;
+use mempersp_pebs::EventKind;
+use std::fmt::Write as _;
+
+/// Event-type bases (mirroring Extrae's numbering style).
+pub const TYPE_FUNCTION: u64 = 60000019;
+pub const TYPE_COUNTER_BASE: u64 = 42000050;
+pub const TYPE_SAMPLED_IP: u64 = 30000000;
+pub const TYPE_PEBS_ADDR: u64 = 32000000;
+pub const TYPE_PEBS_LATENCY: u64 = 32000001;
+pub const TYPE_PEBS_LEVEL: u64 = 32000002;
+pub const TYPE_PEBS_KIND: u64 = 32000003;
+pub const TYPE_PEBS_OBJECT: u64 = 32000004;
+
+fn ns(trace: &Trace, cycles: u64) -> u64 {
+    trace.cycles_to_ns(cycles).round() as u64
+}
+
+/// Render the `.prv` body.
+pub fn to_prv(trace: &Trace) -> String {
+    let end_ns = trace
+        .events
+        .iter()
+        .map(|e| ns(trace, e.cycles))
+        .max()
+        .unwrap_or(0);
+    let ncores = trace.meta.num_cores;
+    let mut out = String::new();
+    // Header: #Paraver (date):duration_ns:nodes(cpus):n_appl:appl_1(tasks)
+    let _ = writeln!(
+        out,
+        "#Paraver (01/01/2017 at 00:00):{end_ns}_ns:1({ncores}):1:1({ncores}:1)"
+    );
+
+    // Record emitter: 2:cpu:appl:task:thread:time:type:value[:type:value...]
+    let mut emit = |core: usize, t: u64, pairs: &[(u64, u64)]| {
+        let _ = write!(out, "2:{}:1:1:{}:{}", core + 1, core + 1, t);
+        for (ty, v) in pairs {
+            let _ = write!(out, ":{ty}:{v}");
+        }
+        out.push('\n');
+    };
+
+    for e in &trace.events {
+        let t = ns(trace, e.cycles);
+        match &e.payload {
+            EventPayload::RegionEnter { region, counters } => {
+                let mut pairs = vec![(TYPE_FUNCTION, region.0 as u64 + 1)];
+                for kind in EventKind::ALL {
+                    pairs.push((TYPE_COUNTER_BASE + kind.index() as u64, counters.get(kind)));
+                }
+                emit(e.core, t, &pairs);
+            }
+            EventPayload::RegionExit { counters, .. } => {
+                let mut pairs = vec![(TYPE_FUNCTION, 0)];
+                for kind in EventKind::ALL {
+                    pairs.push((TYPE_COUNTER_BASE + kind.index() as u64, counters.get(kind)));
+                }
+                emit(e.core, t, &pairs);
+            }
+            EventPayload::CounterSample { ip, counters, .. } => {
+                let mut pairs = vec![(TYPE_SAMPLED_IP, ip.0)];
+                for kind in EventKind::ALL {
+                    pairs.push((TYPE_COUNTER_BASE + kind.index() as u64, counters.get(kind)));
+                }
+                emit(e.core, t, &pairs);
+            }
+            EventPayload::Pebs { sample, object } => {
+                emit(
+                    e.core,
+                    t,
+                    &[
+                        (TYPE_SAMPLED_IP, sample.ip),
+                        (TYPE_PEBS_ADDR, sample.addr),
+                        (TYPE_PEBS_LATENCY, sample.latency as u64),
+                        (
+                            TYPE_PEBS_LEVEL,
+                            match sample.source {
+                                mempersp_memsim::MemLevel::L1 => 1,
+                                mempersp_memsim::MemLevel::L2 => 2,
+                                mempersp_memsim::MemLevel::L3 => 3,
+                                mempersp_memsim::MemLevel::Dram => 4,
+                            },
+                        ),
+                        (TYPE_PEBS_KIND, u64::from(sample.is_store)),
+                        (
+                            TYPE_PEBS_OBJECT,
+                            object.map(|o| o.0 as u64 + 1).unwrap_or(0),
+                        ),
+                    ],
+                );
+            }
+            // Allocation bookkeeping and mux rotations are represented
+            // as user events so nothing is lost.
+            EventPayload::Alloc { base, size, .. } => {
+                emit(e.core, t, &[(32000010, *base), (32000011, *size)]);
+            }
+            EventPayload::Free { base } => {
+                emit(e.core, t, &[(32000012, *base)]);
+            }
+            EventPayload::MuxSwitch { event_index, .. } => {
+                emit(e.core, t, &[(32000013, *event_index as u64)]);
+            }
+            EventPayload::User { kind, value } => {
+                emit(e.core, t, &[(33000000 + *kind as u64, *value)]);
+            }
+        }
+    }
+    out
+}
+
+/// Render the `.pcf` (labels) file.
+pub fn to_pcf(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("DEFAULT_OPTIONS\n\nLEVEL\tTHREAD\nUNITS\tNANOSEC\n\n");
+
+    // Function (region) labels.
+    let _ = writeln!(out, "EVENT_TYPE\n0\t{TYPE_FUNCTION}\tExecuting function");
+    out.push_str("VALUES\n0\tEnd\n");
+    for (i, name) in trace.region_names.iter().enumerate() {
+        let _ = writeln!(out, "{}\t{}", i + 1, name);
+    }
+    out.push('\n');
+
+    // Counter labels.
+    for kind in EventKind::ALL {
+        let _ = writeln!(
+            out,
+            "EVENT_TYPE\n7\t{}\t{}",
+            TYPE_COUNTER_BASE + kind.index() as u64,
+            kind.label()
+        );
+        out.push('\n');
+    }
+
+    // PEBS labels.
+    let _ = writeln!(out, "EVENT_TYPE\n0\t{TYPE_SAMPLED_IP}\tSampled instruction pointer\n");
+    let _ = writeln!(out, "EVENT_TYPE\n0\t{TYPE_PEBS_ADDR}\tSampled address");
+    let _ = writeln!(out, "EVENT_TYPE\n0\t{TYPE_PEBS_LATENCY}\tSampled access cost (cycles)");
+    let _ = writeln!(out, "EVENT_TYPE\n0\t{TYPE_PEBS_LEVEL}\tSampled memory level");
+    out.push_str("VALUES\n1\tL1\n2\tL2\n3\tL3\n4\tDRAM\n\n");
+    let _ = writeln!(out, "EVENT_TYPE\n0\t{TYPE_PEBS_KIND}\tSampled operation");
+    out.push_str("VALUES\n0\tload\n1\tstore\n\n");
+    let _ = writeln!(out, "EVENT_TYPE\n0\t{TYPE_PEBS_OBJECT}\tSampled data object");
+    out.push_str("VALUES\n0\tUnresolved\n");
+    for o in trace.objects.all() {
+        let _ = writeln!(out, "{}\t{}", o.id.0 + 1, o.figure_label());
+    }
+    out.push('\n');
+    out
+}
+
+/// Render the `.row` (object names) file.
+pub fn to_row(trace: &Trace) -> String {
+    let n = trace.meta.num_cores;
+    let mut out = String::new();
+    let _ = writeln!(out, "LEVEL CPU SIZE {n}");
+    for c in 0..n {
+        let _ = writeln!(out, "{}.core", c + 1);
+    }
+    let _ = writeln!(out, "\nLEVEL THREAD SIZE {n}");
+    for c in 0..n {
+        let _ = writeln!(out, "THREAD 1.1.{}", c + 1);
+    }
+    out
+}
+
+/// Write the three Paraver files with a common `prefix`
+/// (`prefix.prv`, `prefix.pcf`, `prefix.row`).
+pub fn export_paraver(dir: &std::path::Path, prefix: &str, trace: &Trace) -> std::io::Result<[std::path::PathBuf; 3]> {
+    std::fs::create_dir_all(dir)?;
+    let prv = dir.join(format!("{prefix}.prv"));
+    let pcf = dir.join(format!("{prefix}.pcf"));
+    let row = dir.join(format!("{prefix}.row"));
+    std::fs::write(&prv, to_prv(trace))?;
+    std::fs::write(&pcf, to_pcf(trace))?;
+    std::fs::write(&row, to_row(trace))?;
+    Ok([prv, pcf, row])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::CodeLocation;
+    use crate::tracer::{Tracer, TracerConfig};
+    use mempersp_memsim::MemLevel;
+    use mempersp_pebs::{CounterSnapshot, PebsSample};
+
+    fn sample_trace() -> Trace {
+        let mut t = Tracer::new(TracerConfig { freq_mhz: 1000, ..Default::default() }, 2);
+        let c = CounterSnapshot::from_values([10, 20, 1, 2, 3, 4, 5, 6, 0, 0, 0, 0]);
+        let big = t.malloc(1 << 20, &CodeLocation::new("gen.cpp", 110, "g"), 0);
+        t.enter(0, "ComputeSPMV_ref", c, 1000);
+        t.record_pebs(PebsSample {
+            timestamp: 1500,
+            core: 0,
+            ip: 0x400010,
+            addr: big + 64,
+            size: 8,
+            is_store: false,
+            latency: 36,
+            source: MemLevel::L3,
+            tlb_miss: false,
+        });
+        t.exit(0, "ComputeSPMV_ref", c, 2000);
+        t.finish("paraver test")
+    }
+
+    #[test]
+    fn prv_header_and_records() {
+        let tr = sample_trace();
+        let prv = to_prv(&tr);
+        let mut lines = prv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("#Paraver"), "{header}");
+        assert!(header.contains(":1(2):1:1(2:1)"), "2 cores: {header}");
+        // All records are type-2 (event) lines with ns timestamps
+        // (1000 cycles @1 GHz = 1000 ns).
+        let records: Vec<&str> = lines.collect();
+        assert!(records.iter().all(|r| r.starts_with("2:")));
+        assert!(records.iter().any(|r| r.contains(":1000:")), "enter at t=1000 ns");
+        // Function-entry value is region id + 1 (the first record is
+        // the allocation at t=0, then the region enter).
+        assert!(records.iter().any(|r| r.contains(&format!(":{TYPE_FUNCTION}:1"))));
+        // Exit carries value 0.
+        assert!(records.last().unwrap().contains(&format!(":{TYPE_FUNCTION}:0")));
+        // PEBS record carries address + latency + level(3=L3) + kind 0.
+        let pebs = records.iter().find(|r| r.contains(&TYPE_PEBS_ADDR.to_string())).unwrap();
+        assert!(pebs.contains(&format!(":{TYPE_PEBS_LATENCY}:36")));
+        assert!(pebs.contains(&format!(":{TYPE_PEBS_LEVEL}:3")));
+        assert!(pebs.contains(&format!(":{TYPE_PEBS_KIND}:0")));
+        assert!(pebs.contains(&format!(":{TYPE_PEBS_OBJECT}:1")), "resolved object id 0 -> value 1");
+    }
+
+    #[test]
+    fn pcf_labels_regions_counters_objects() {
+        let tr = sample_trace();
+        let pcf = to_pcf(&tr);
+        assert!(pcf.contains("Executing function"));
+        assert!(pcf.contains("ComputeSPMV_ref"));
+        assert!(pcf.contains("L1D miss"));
+        assert!(pcf.contains("Sampled address"));
+        assert!(pcf.contains("gen.cpp:110"), "object labels present");
+        assert!(pcf.contains("UNITS\tNANOSEC"));
+    }
+
+    #[test]
+    fn row_lists_cores() {
+        let tr = sample_trace();
+        let row = to_row(&tr);
+        assert!(row.contains("LEVEL CPU SIZE 2"));
+        assert!(row.contains("THREAD 1.1.2"));
+    }
+
+    #[test]
+    fn export_writes_three_files() {
+        let tr = sample_trace();
+        let dir = std::env::temp_dir().join("mempersp_paraver_test");
+        let files = export_paraver(&dir, "t", &tr).unwrap();
+        for f in &files {
+            assert!(f.exists());
+            assert!(std::fs::metadata(f).unwrap().len() > 0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timestamps_monotone_in_prv() {
+        let tr = sample_trace();
+        let prv = to_prv(&tr);
+        let times: Vec<u64> = prv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(':').nth(5).unwrap().parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,160 @@
+//! Streaming trace emission.
+//!
+//! Real Extrae does not hold the whole trace in memory: each thread
+//! appends records to a buffer that a flusher empties to per-process
+//! intermediate files, and a post-mortem merger (`mpi2prv`) combines
+//! them with the symbol information into the final `.prv`. This
+//! module reproduces that pipeline:
+//!
+//! * [`StreamWriter`] owns a background thread fed through a bounded
+//!   crossbeam channel; event lines are appended to an intermediate
+//!   file as the run progresses (bounded memory, like the real tool);
+//! * [`StreamWriter::finalize`] plays the merger: it prepends the
+//!   header sections (which are only complete at the end of the run —
+//!   symbols, objects, region names) to the streamed event body,
+//!   producing a file that [`crate::trace_format::parse_trace`]
+//!   accepts.
+
+use crate::events::TraceEvent;
+use crate::tracer::Trace;
+use crossbeam::channel::{bounded, Sender};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+enum Msg {
+    Line(String),
+    Flush,
+    Done,
+}
+
+/// Background streaming writer of trace event records.
+pub struct StreamWriter {
+    tx: Sender<Msg>,
+    worker: Option<JoinHandle<std::io::Result<u64>>>,
+    body_path: PathBuf,
+}
+
+impl StreamWriter {
+    /// Start the writer; event records stream into `body_path`
+    /// (an intermediate file, analogous to Extrae's `.mpit`).
+    pub fn create(body_path: &Path, queue_depth: usize) -> std::io::Result<Self> {
+        let file = std::fs::File::create(body_path)?;
+        let mut out = std::io::BufWriter::new(file);
+        let (tx, rx) = bounded::<Msg>(queue_depth.max(1));
+        let worker = std::thread::spawn(move || -> std::io::Result<u64> {
+            let mut lines = 0u64;
+            for msg in rx {
+                match msg {
+                    Msg::Line(l) => {
+                        out.write_all(l.as_bytes())?;
+                        lines += 1;
+                    }
+                    Msg::Flush => out.flush()?,
+                    Msg::Done => break,
+                }
+            }
+            out.flush()?;
+            Ok(lines)
+        });
+        Ok(Self { tx, worker: Some(worker), body_path: body_path.to_path_buf() })
+    }
+
+    /// Append one event (serialized in the `E ...` record format).
+    /// Blocks when the queue is full — the monitored application
+    /// experiences back-pressure exactly like a real flush stall.
+    pub fn append(&self, event: &TraceEvent) {
+        let line = crate::trace_format::event_record(event);
+        self.tx.send(Msg::Line(line)).expect("writer thread alive");
+    }
+
+    /// Ask the worker to flush its file buffer.
+    pub fn flush(&self) {
+        self.tx.send(Msg::Flush).expect("writer thread alive");
+    }
+
+    /// Stop the worker and merge header + streamed body into
+    /// `final_path`. The `trace` provides the header sections (its
+    /// own event list is ignored — the streamed body is the record of
+    /// truth). Returns the number of streamed event records.
+    pub fn finalize(mut self, trace_for_header: &Trace, final_path: &Path) -> std::io::Result<u64> {
+        self.tx.send(Msg::Done).expect("writer thread alive");
+        let lines = self
+            .worker
+            .take()
+            .expect("finalize called once")
+            .join()
+            .expect("writer thread must not panic")?;
+
+        let header = crate::trace_format::header_sections(trace_for_header);
+        let body = std::fs::read_to_string(&self.body_path)?;
+        let mut out = std::fs::File::create(final_path)?;
+        out.write_all(header.as_bytes())?;
+        out.write_all(body.as_bytes())?;
+        Ok(lines)
+    }
+}
+
+impl Drop for StreamWriter {
+    fn drop(&mut self) {
+        // Unblock the worker if finalize was never called.
+        let _ = self.tx.send(Msg::Done);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Tracer, TracerConfig};
+    use mempersp_pebs::CounterSnapshot;
+
+    #[test]
+    fn streamed_trace_parses_back() {
+        let dir = std::env::temp_dir().join(format!("mempersp_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let body = dir.join("body.mpit");
+        let final_prv = dir.join("final.prv");
+
+        // Build a run, streaming every event as it happens.
+        let writer = StreamWriter::create(&body, 64).unwrap();
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let c = CounterSnapshot::default();
+        let before = t.num_events();
+        for i in 0..500u64 {
+            t.enter(0, "R", c, i * 10);
+            t.exit(0, "R", c, i * 10 + 5);
+        }
+        assert_eq!(t.num_events() - before, 1000);
+        let trace = t.finish("streamed");
+        for e in &trace.events {
+            writer.append(e);
+        }
+        writer.flush();
+        let lines = writer.finalize(&trace, &final_prv).unwrap();
+        assert_eq!(lines, 1000);
+
+        let loaded = crate::trace_format::load_trace(&final_prv).unwrap();
+        assert_eq!(loaded.events, trace.events);
+        assert_eq!(loaded.region_names, trace.region_names);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_without_finalize_does_not_hang() {
+        let dir = std::env::temp_dir().join(format!("mempersp_stream2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let body = dir.join("body.mpit");
+        {
+            let writer = StreamWriter::create(&body, 4).unwrap();
+            let t = Tracer::new(TracerConfig::default(), 1);
+            let trace = t.finish("empty");
+            let _ = &trace;
+            writer.flush();
+            // dropped here
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,518 @@
+//! A Paraver-inspired, line-oriented trace file format.
+//!
+//! Real Extrae emits `.prv` files consumed by Paraver and the Folding
+//! tool. This module provides an equivalent self-describing text
+//! format with a writer ([`write_trace`]) and a strict parser
+//! ([`parse_trace`]); `parse(write(t)) == t` up to interning details
+//! (verified by tests).
+//!
+//! Layout (one record per line, space separated, `"`-quoted strings):
+//!
+//! ```text
+//! #MEMPERSP-PRV 1
+//! META <freq_mhz> <cores> <aslr_slide> "<description>"
+//! RES <resolved> <unresolved>
+//! REGION <id> "<name>"
+//! SYM <ip> "<file>" <line> "<function>"
+//! OBJ <id> <STATIC|DYNAMIC|GROUP> "<name>" <base> <size> <allocated>
+//! E <cycles> <core> ENTER <region> <c0,...,c8>
+//! E <cycles> <core> EXIT <region> <c0,...,c8>
+//! E <cycles> <core> SAMP <ip> <c0,...,c8> <r0;r1;...|->
+//! E <cycles> <core> PEBS <ip> <addr> <size> <L|S> <latency> <src> <tlb> <obj|->
+//! E <cycles> <core> ALLOC <base> <size> <ip>
+//! E <cycles> <core> FREE <base>
+//! E <cycles> <core> MUX <index> "<label>"
+//! E <cycles> <core> USER <kind> <value>
+//! ```
+
+use crate::events::{EventPayload, RegionId, TraceEvent};
+use crate::objects::{ObjectDesc, ObjectId, ObjectKind, ObjectRegistry};
+use crate::source::{CodeLocation, Ip, SourceMap};
+use crate::tracer::{ResolutionStats, Trace, TraceMeta};
+use mempersp_pebs::{CounterSnapshot, EventKind, PebsSample};
+use mempersp_memsim::MemLevel;
+use std::fmt::Write as _;
+
+/// Errors produced by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn counters_field(c: &CounterSnapshot) -> String {
+    c.values().iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// Serialize a trace to the text format.
+pub fn write_trace(t: &Trace) -> String {
+    let mut out = header_sections(t);
+    for e in &t.events {
+        out.push_str(&event_record(e));
+    }
+    out
+}
+
+/// The header sections (everything up to the first `E` record):
+/// format magic, META, RES, REGION, SYM and OBJ declarations.
+pub fn header_sections(t: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("#MEMPERSP-PRV 1\n");
+    let _ = writeln!(
+        out,
+        "META {} {} {} {}",
+        t.meta.freq_mhz,
+        t.meta.num_cores,
+        t.meta.aslr_slide,
+        quote(&t.meta.description)
+    );
+    let _ = writeln!(out, "RES {} {}", t.resolution.resolved, t.resolution.unresolved);
+    for (i, name) in t.region_names.iter().enumerate() {
+        let _ = writeln!(out, "REGION {} {}", i, quote(name));
+    }
+    for (ip, loc) in t.source.iter() {
+        let _ = writeln!(out, "SYM {} {} {} {}", ip.0, quote(&loc.file), loc.line, quote(&loc.function));
+    }
+    for o in t.objects.all() {
+        let kind = match o.kind {
+            ObjectKind::Static => "STATIC",
+            ObjectKind::Dynamic => "DYNAMIC",
+            ObjectKind::Group => "GROUP",
+        };
+        let _ = writeln!(
+            out,
+            "OBJ {} {} {} {} {} {}",
+            o.id.0,
+            kind,
+            quote(&o.name),
+            o.base,
+            o.size,
+            o.allocated_bytes
+        );
+    }
+    out
+}
+
+/// Serialize one event as its `E ...` record line (newline included).
+pub fn event_record(e: &TraceEvent) -> String {
+    let mut out = String::new();
+    {
+        let _ = write!(out, "E {} {} ", e.cycles, e.core);
+        match &e.payload {
+            EventPayload::RegionEnter { region, counters } => {
+                let _ = writeln!(out, "ENTER {} {}", region.0, counters_field(counters));
+            }
+            EventPayload::RegionExit { region, counters } => {
+                let _ = writeln!(out, "EXIT {} {}", region.0, counters_field(counters));
+            }
+            EventPayload::CounterSample { ip, counters, stack } => {
+                let stack_field = if stack.is_empty() {
+                    "-".to_string()
+                } else {
+                    stack.iter().map(|r| r.0.to_string()).collect::<Vec<_>>().join(";")
+                };
+                let _ = writeln!(out, "SAMP {} {} {}", ip.0, counters_field(counters), stack_field);
+            }
+            EventPayload::Pebs { sample, object } => {
+                let _ = writeln!(
+                    out,
+                    "PEBS {} {} {} {} {} {} {} {}",
+                    sample.ip,
+                    sample.addr,
+                    sample.size,
+                    if sample.is_store { "S" } else { "L" },
+                    sample.latency,
+                    sample.source.label(),
+                    u8::from(sample.tlb_miss),
+                    object.map(|o| o.0.to_string()).unwrap_or_else(|| "-".into()),
+                );
+            }
+            EventPayload::Alloc { base, size, callsite } => {
+                let _ = writeln!(out, "ALLOC {} {} {}", base, size, callsite.0);
+            }
+            EventPayload::Free { base } => {
+                let _ = writeln!(out, "FREE {base}");
+            }
+            EventPayload::MuxSwitch { event_index, label } => {
+                let _ = writeln!(out, "MUX {} {}", event_index, quote(label));
+            }
+            EventPayload::User { kind, value } => {
+                let _ = writeln!(out, "USER {kind} {value}");
+            }
+        }
+    }
+    out
+}
+
+/// Write a trace to a file in the text format.
+pub fn save_trace(path: &std::path::Path, trace: &Trace) -> std::io::Result<()> {
+    std::fs::write(path, write_trace(trace))
+}
+
+/// Load a trace from a file written by [`save_trace`].
+pub fn load_trace(path: &std::path::Path) -> std::io::Result<Trace> {
+    let text = std::fs::read_to_string(path)?;
+    parse_trace(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Tokenizer handling quoted strings.
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some(e) => s.push(e),
+                        None => return Err("dangling escape".into()),
+                    },
+                    Some('"') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err("unterminated string".into()),
+                }
+            }
+            toks.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() {
+                    break;
+                }
+                s.push(ch);
+                chars.next();
+            }
+            toks.push(s);
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_counters(field: &str) -> Result<CounterSnapshot, String> {
+    let parts: Vec<&str> = field.split(',').collect();
+    if parts.len() != EventKind::ALL.len() {
+        return Err(format!("expected {} counters, got {}", EventKind::ALL.len(), parts.len()));
+    }
+    let mut vals = [0u64; EventKind::ALL.len()];
+    for (i, p) in parts.iter().enumerate() {
+        vals[i] = p.parse().map_err(|_| format!("bad counter value {p:?}"))?;
+    }
+    Ok(CounterSnapshot::from_values(vals))
+}
+
+fn parse_level(s: &str) -> Result<MemLevel, String> {
+    match s {
+        "L1" => Ok(MemLevel::L1),
+        "L2" => Ok(MemLevel::L2),
+        "L3" => Ok(MemLevel::L3),
+        "DRAM" => Ok(MemLevel::Dram),
+        _ => Err(format!("unknown memory level {s:?}")),
+    }
+}
+
+/// Parse the text format back into a [`Trace`].
+pub fn parse_trace(text: &str) -> Result<Trace, ParseError> {
+    let err = |line: usize, message: String| ParseError { line, message };
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty trace".into()))?;
+    if header.trim() != "#MEMPERSP-PRV 1" {
+        return Err(err(1, format!("bad header {header:?}")));
+    }
+
+    let mut meta: Option<TraceMeta> = None;
+    let mut resolution = ResolutionStats::default();
+    let mut region_names: Vec<String> = Vec::new();
+    let mut source = SourceMap::new();
+    let mut objects = ObjectRegistry::new();
+    let mut raw_objects: Vec<ObjectDesc> = Vec::new();
+    let mut events: Vec<TraceEvent> = Vec::new();
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks = tokenize(line).map_err(|m| err(lineno, m))?;
+        let p = |i: usize| -> Result<&str, ParseError> {
+            toks.get(i)
+                .map(|s| s.as_str())
+                .ok_or_else(|| err(lineno, format!("missing field {i}")))
+        };
+        let pu = |i: usize| -> Result<u64, ParseError> {
+            p(i)?.parse::<u64>().map_err(|_| err(lineno, format!("bad number in field {i}")))
+        };
+        match p(0)? {
+            "META" => {
+                meta = Some(TraceMeta {
+                    freq_mhz: pu(1)? as u32,
+                    num_cores: pu(2)? as usize,
+                    aslr_slide: pu(3)?,
+                    description: p(4)?.to_string(),
+                });
+            }
+            "RES" => {
+                resolution = ResolutionStats { resolved: pu(1)?, unresolved: pu(2)? };
+            }
+            "REGION" => {
+                let id = pu(1)? as usize;
+                if id != region_names.len() {
+                    return Err(err(lineno, "regions must be declared in id order".into()));
+                }
+                region_names.push(p(2)?.to_string());
+            }
+            "SYM" => {
+                let ip = pu(1)?;
+                let got = source.intern(CodeLocation::new(
+                    p(2)?,
+                    pu(3)? as u32,
+                    p(4)?,
+                ));
+                if got.0 != ip {
+                    return Err(err(lineno, format!("SYM ip mismatch: declared {ip}, interned {}", got.0)));
+                }
+            }
+            "OBJ" => {
+                let id = pu(1)? as u32;
+                if id as usize != raw_objects.len() {
+                    return Err(err(lineno, "objects must be declared in id order".into()));
+                }
+                let kind = match p(2)? {
+                    "STATIC" => ObjectKind::Static,
+                    "DYNAMIC" => ObjectKind::Dynamic,
+                    "GROUP" => ObjectKind::Group,
+                    other => return Err(err(lineno, format!("unknown object kind {other:?}"))),
+                };
+                raw_objects.push(ObjectDesc {
+                    id: ObjectId(id),
+                    name: p(3)?.to_string(),
+                    kind,
+                    base: pu(4)?,
+                    size: pu(5)?,
+                    allocated_bytes: pu(6)?,
+                });
+            }
+            "E" => {
+                let cycles = pu(1)?;
+                let core = pu(2)? as usize;
+                let payload = match p(3)? {
+                    "ENTER" => EventPayload::RegionEnter {
+                        region: RegionId(pu(4)? as u32),
+                        counters: parse_counters(p(5)?).map_err(|m| err(lineno, m))?,
+                    },
+                    "EXIT" => EventPayload::RegionExit {
+                        region: RegionId(pu(4)? as u32),
+                        counters: parse_counters(p(5)?).map_err(|m| err(lineno, m))?,
+                    },
+                    "SAMP" => {
+                        let stack = match p(6)? {
+                            "-" => Vec::new(),
+                            s => s
+                                .split(';')
+                                .map(|part| {
+                                    part.parse::<u32>()
+                                        .map(RegionId)
+                                        .map_err(|_| err(lineno, format!("bad stack entry {part:?}")))
+                                })
+                                .collect::<Result<Vec<_>, _>>()?,
+                        };
+                        EventPayload::CounterSample {
+                            ip: Ip(pu(4)?),
+                            counters: parse_counters(p(5)?).map_err(|m| err(lineno, m))?,
+                            stack,
+                        }
+                    }
+                    "PEBS" => {
+                        let object = match p(11)? {
+                            "-" => None,
+                            s => Some(ObjectId(
+                                s.parse().map_err(|_| err(lineno, "bad object id".into()))?,
+                            )),
+                        };
+                        EventPayload::Pebs {
+                            sample: PebsSample {
+                                timestamp: cycles,
+                                core,
+                                ip: pu(4)?,
+                                addr: pu(5)?,
+                                size: pu(6)? as u32,
+                                is_store: match p(7)? {
+                                    "S" => true,
+                                    "L" => false,
+                                    o => return Err(err(lineno, format!("bad kind {o:?}"))),
+                                },
+                                latency: pu(8)? as u32,
+                                source: parse_level(p(9)?).map_err(|m| err(lineno, m))?,
+                                tlb_miss: pu(10)? != 0,
+                            },
+                            object,
+                        }
+                    }
+                    "ALLOC" => EventPayload::Alloc {
+                        base: pu(4)?,
+                        size: pu(5)?,
+                        callsite: Ip(pu(6)?),
+                    },
+                    "FREE" => EventPayload::Free { base: pu(4)? },
+                    "MUX" => EventPayload::MuxSwitch {
+                        event_index: pu(4)? as usize,
+                        label: p(5)?.to_string(),
+                    },
+                    "USER" => EventPayload::User { kind: pu(4)? as u32, value: pu(5)? },
+                    other => return Err(err(lineno, format!("unknown event {other:?}"))),
+                };
+                events.push(TraceEvent { cycles, core, payload });
+            }
+            other => return Err(err(lineno, format!("unknown record {other:?}"))),
+        }
+    }
+
+    // Rebuild the registry from raw descriptors, preserving ids. Freed
+    // dynamics cannot be distinguished from live ones in the file;
+    // re-registering everything is the documented round-trip caveat.
+    for o in raw_objects {
+        match o.kind {
+            ObjectKind::Static => objects.register_static(&o.name, o.base, o.size),
+            ObjectKind::Dynamic => objects.register_dynamic(&o.name, o.base, o.size),
+            ObjectKind::Group => objects.register_group(&o.name, o.base, o.size, o.allocated_bytes),
+        };
+    }
+
+    Ok(Trace {
+        meta: meta.ok_or_else(|| err(0, "missing META record".into()))?,
+        events,
+        source,
+        objects,
+        region_names,
+        resolution,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Tracer, TracerConfig};
+
+    fn sample_trace() -> Trace {
+        let mut t = Tracer::new(TracerConfig::default(), 2);
+        let ip = t.location("ComputeSPMV_ref.cpp", 72, "ComputeSPMV_ref");
+        let c = CounterSnapshot::from_values([100, 200, 10, 5, 2, 1, 40, 20, 0, 30, 15, 8]);
+        t.enter(0, "ComputeSPMV_ref", c, 0);
+        t.record_counter_sample(0, ip, c, 10);
+        let big = t.malloc(1 << 20, &CodeLocation::new("GenerateProblem_ref.cpp", 110, "gen"), 12);
+        t.begin_alloc_group("g1");
+        t.malloc(100, &CodeLocation::new("GenerateProblem_ref.cpp", 143, "gen"), 14);
+        t.end_alloc_group();
+        t.register_static("ghost", 0x100, 0x40);
+        t.record_pebs(PebsSample {
+            timestamp: 20,
+            core: 1,
+            ip: ip.0,
+            addr: big + 64,
+            size: 8,
+            is_store: false,
+            latency: 36,
+            source: MemLevel::L3,
+            tlb_miss: true,
+        });
+        t.record_pebs(PebsSample {
+            timestamp: 25,
+            core: 0,
+            ip: ip.0,
+            addr: 0x7777_7777,
+            size: 4,
+            is_store: true,
+            latency: 4,
+            source: MemLevel::L1,
+            tlb_miss: false,
+        });
+        t.record_mux_switch(0, 1, "stores", 30);
+        t.user_event(1, 9, 42, 35);
+        t.free(big, 38);
+        t.exit(0, "ComputeSPMV_ref", c, 40);
+        t.finish("round trip \"test\" with quotes")
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_trace();
+        let text = write_trace(&t);
+        let back = parse_trace(&text).expect("parse");
+        assert_eq!(back.meta, t.meta);
+        assert_eq!(back.region_names, t.region_names);
+        assert_eq!(back.events, t.events);
+        assert_eq!(back.resolution, t.resolution);
+        assert_eq!(back.objects.all().len(), t.objects.all().len());
+        for (a, b) in back.objects.all().iter().zip(t.objects.all()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(back.source.len(), t.source.len());
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let t = sample_trace();
+        let once = write_trace(&t);
+        let twice = write_trace(&parse_trace(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_trace("#WRONG 1\n").is_err());
+        assert!(parse_trace("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_event() {
+        let text = "#MEMPERSP-PRV 1\nMETA 2500 1 0 \"x\"\nE 10 0 ENTER notanumber 0,0,0,0,0,0,0,0,0\n";
+        let e = parse_trace(text).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn rejects_wrong_counter_arity() {
+        let text = "#MEMPERSP-PRV 1\nMETA 2500 1 0 \"x\"\nE 10 0 ENTER 0 1,2,3\n";
+        let e = parse_trace(text).unwrap_err();
+        assert!(e.message.contains("counters"));
+    }
+
+    #[test]
+    fn missing_meta_is_an_error() {
+        let e = parse_trace("#MEMPERSP-PRV 1\n").unwrap_err();
+        assert!(e.message.contains("META"));
+    }
+
+    #[test]
+    fn quoted_strings_with_escapes() {
+        let toks = tokenize(r#"MUX 1 "a \"b\" c\\d""#).unwrap();
+        assert_eq!(toks, vec!["MUX", "1", r#"a "b" c\d"#]);
+        assert!(tokenize(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let t = sample_trace();
+        let mut text = write_trace(&t);
+        text.push_str("\n# trailing comment\n\n");
+        assert!(parse_trace(&text).is_ok());
+    }
+}

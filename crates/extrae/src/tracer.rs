@@ -1,0 +1,595 @@
+//! The tracer façade: what an instrumented application links against.
+//!
+//! The [`Tracer`] collects instrumentation events, counter samples and
+//! PEBS samples; interposes on dynamic allocation; and finally yields
+//! a self-contained [`Trace`].
+//!
+//! Timestamps are supplied by the caller (the simulated machine's
+//! cycle clock), keeping this crate clock-agnostic.
+
+use crate::events::{EventPayload, RegionId, TraceEvent};
+use crate::objects::{ObjectId, ObjectRegistry};
+use crate::sim_alloc::SimAllocator;
+use crate::source::{CodeLocation, Ip, SourceMap};
+use mempersp_pebs::{CounterSnapshot, PebsSample};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tracer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracerConfig {
+    /// Dynamic allocations smaller than this many bytes are *not*
+    /// registered as data objects (real Extrae applies such a threshold
+    /// to bound trace size; HPCG's per-row allocations fall below it,
+    /// which is the paper's Section III observation).
+    pub alloc_threshold: u64,
+    /// Seed for the simulated ASLR slide.
+    pub aslr_seed: u64,
+    /// Nominal core frequency, for cycle → ns conversion.
+    pub freq_mhz: u32,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        Self { alloc_threshold: 1024, aslr_seed: 0x5EED, freq_mhz: 2500 }
+    }
+}
+
+/// Counters of address→object resolution, the paper's "preliminary
+/// analysis" metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolutionStats {
+    pub resolved: u64,
+    pub unresolved: u64,
+}
+
+impl ResolutionStats {
+    /// Fraction of PEBS samples that hit a known object (0 when no
+    /// samples were taken).
+    pub fn resolved_fraction(&self) -> f64 {
+        let total = self.resolved + self.unresolved;
+        if total == 0 {
+            0.0
+        } else {
+            self.resolved as f64 / total as f64
+        }
+    }
+}
+
+/// Run-level metadata embedded in the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    pub freq_mhz: u32,
+    pub num_cores: usize,
+    pub aslr_slide: u64,
+    /// Free-form description (application, problem size, ...).
+    pub description: String,
+}
+
+/// A completed monitoring run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    pub meta: TraceMeta,
+    pub events: Vec<TraceEvent>,
+    pub source: SourceMap,
+    pub objects: ObjectRegistry,
+    /// Region names indexed by `RegionId`.
+    pub region_names: Vec<String>,
+    pub resolution: ResolutionStats,
+}
+
+impl Trace {
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The id of a region by name.
+    pub fn region_id(&self, name: &str) -> Option<RegionId> {
+        self.region_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| RegionId(i as u32))
+    }
+
+    /// Name of a region id.
+    pub fn region_name(&self, id: RegionId) -> &str {
+        &self.region_names[id.0 as usize]
+    }
+
+    /// Convert a cycle timestamp to nanoseconds at the nominal
+    /// frequency.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1000.0 / self.meta.freq_mhz as f64
+    }
+
+    /// All `(start_cycles, end_cycles)` instances of a region on a
+    /// given core, from matching enter/exit pairs (nested instances of
+    /// *other* regions are ignored; recursive instances of the same
+    /// region are matched innermost-first and only top-level pairs are
+    /// returned).
+    pub fn region_instances(&self, region: RegionId, core: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut depth = 0u32;
+        let mut start = 0u64;
+        for e in &self.events {
+            if e.core != core {
+                continue;
+            }
+            match &e.payload {
+                EventPayload::RegionEnter { region: r, .. } if *r == region => {
+                    if depth == 0 {
+                        start = e.cycles;
+                    }
+                    depth += 1;
+                }
+                EventPayload::RegionExit { region: r, .. } if *r == region
+                    && depth > 0 => {
+                        depth -= 1;
+                        if depth == 0 {
+                            out.push((start, e.cycles));
+                        }
+                    }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Iterate PEBS events with their resolved object ids.
+    pub fn pebs_events(&self) -> impl Iterator<Item = (&TraceEvent, &PebsSample, Option<ObjectId>)> {
+        self.events.iter().filter_map(|e| match &e.payload {
+            EventPayload::Pebs { sample, object } => Some((e, sample, *object)),
+            _ => None,
+        })
+    }
+}
+
+/// Capture state for a manual allocation group.
+#[derive(Debug, Clone)]
+struct GroupCapture {
+    name: String,
+    lo: u64,
+    hi: u64,
+    allocated: u64,
+    members: u64,
+}
+
+/// The monitoring runtime.
+#[derive(Debug)]
+pub struct Tracer {
+    cfg: TracerConfig,
+    num_cores: usize,
+    events: Vec<TraceEvent>,
+    source: SourceMap,
+    objects: ObjectRegistry,
+    alloc: SimAllocator,
+    region_names: Vec<String>,
+    region_index: HashMap<String, RegionId>,
+    /// Per-core stack of open regions.
+    region_stacks: Vec<Vec<RegionId>>,
+    group: Option<GroupCapture>,
+    resolution: ResolutionStats,
+    /// Call-site of each live tracked allocation (for realloc naming).
+    alloc_sites: HashMap<u64, Ip>,
+}
+
+impl Tracer {
+    pub fn new(cfg: TracerConfig, num_cores: usize) -> Self {
+        assert!(num_cores >= 1);
+        Self {
+            alloc: SimAllocator::new(cfg.aslr_seed),
+            cfg,
+            num_cores,
+            events: Vec::new(),
+            source: SourceMap::new(),
+            objects: ObjectRegistry::new(),
+            region_names: Vec::new(),
+            region_index: HashMap::new(),
+            region_stacks: vec![Vec::new(); num_cores],
+            group: None,
+            resolution: ResolutionStats::default(),
+            alloc_sites: HashMap::new(),
+        }
+    }
+
+    /// The tracer's configuration.
+    pub fn config(&self) -> &TracerConfig {
+        &self.cfg
+    }
+
+    /// Register (or look up) an instrumented statement.
+    pub fn location(&mut self, file: &str, line: u32, function: &str) -> Ip {
+        self.source.intern(CodeLocation::new(file, line, function))
+    }
+
+    /// Intern a region name.
+    pub fn region(&mut self, name: &str) -> RegionId {
+        if let Some(&id) = self.region_index.get(name) {
+            return id;
+        }
+        let id = RegionId(self.region_names.len() as u32);
+        self.region_names.push(name.to_string());
+        self.region_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Enter an instrumented region on `core` at cycle `now`.
+    pub fn enter(&mut self, core: usize, name: &str, counters: CounterSnapshot, now: u64) -> RegionId {
+        let id = self.region(name);
+        self.region_stacks[core].push(id);
+        self.events.push(TraceEvent {
+            cycles: now,
+            core,
+            payload: EventPayload::RegionEnter { region: id, counters },
+        });
+        id
+    }
+
+    /// Exit the innermost open region on `core`. Panics if the named
+    /// region is not the innermost (unbalanced instrumentation is a
+    /// bug in the workload).
+    pub fn exit(&mut self, core: usize, name: &str, counters: CounterSnapshot, now: u64) {
+        let id = *self
+            .region_index
+            .get(name)
+            .unwrap_or_else(|| panic!("exit of unknown region {name:?}"));
+        let top = self.region_stacks[core]
+            .pop()
+            .unwrap_or_else(|| panic!("exit of {name:?} with empty region stack"));
+        assert_eq!(
+            top, id,
+            "unbalanced instrumentation: exiting {name:?} but innermost is {:?}",
+            self.region_names[top.0 as usize]
+        );
+        self.events.push(TraceEvent {
+            cycles: now,
+            core,
+            payload: EventPayload::RegionExit { region: id, counters },
+        });
+    }
+
+    /// Timer-driven sample of the program counter + counters. The
+    /// current region stack of `core` is captured with the sample, as
+    /// real Extrae captures the call stack.
+    pub fn record_counter_sample(&mut self, core: usize, ip: Ip, counters: CounterSnapshot, now: u64) {
+        let stack = self.region_stacks[core].clone();
+        self.events.push(TraceEvent {
+            cycles: now,
+            core,
+            payload: EventPayload::CounterSample { ip, counters, stack },
+        });
+    }
+
+    /// Forward a PEBS sample; the address is resolved against the
+    /// object registry *at capture time* (objects may be freed later).
+    pub fn record_pebs(&mut self, sample: PebsSample) {
+        let object = self.objects.resolve(sample.addr).map(|r| r.id);
+        if object.is_some() {
+            self.resolution.resolved += 1;
+        } else {
+            self.resolution.unresolved += 1;
+        }
+        self.events.push(TraceEvent {
+            cycles: sample.timestamp,
+            core: sample.core,
+            payload: EventPayload::Pebs { sample, object },
+        });
+    }
+
+    /// Record a multiplexer rotation.
+    pub fn record_mux_switch(&mut self, core: usize, event_index: usize, label: &str, now: u64) {
+        self.events.push(TraceEvent {
+            cycles: now,
+            core,
+            payload: EventPayload::MuxSwitch { event_index, label: label.to_string() },
+        });
+    }
+
+    /// Free-form user event.
+    pub fn user_event(&mut self, core: usize, kind: u32, value: u64, now: u64) {
+        self.events.push(TraceEvent { cycles: now, core, payload: EventPayload::User { kind, value } });
+    }
+
+    // ----- allocation interposition ---------------------------------
+
+    /// Interposed `malloc`: returns the simulated address. Allocations
+    /// at or above the threshold become data objects named by their
+    /// call-site; all allocations extend an open group capture.
+    pub fn malloc(&mut self, size: u64, callsite: &CodeLocation, now: u64) -> u64 {
+        let ip = self.source.intern(callsite.clone());
+        let base = self.alloc.malloc(size);
+        if let Some(g) = &mut self.group {
+            g.lo = g.lo.min(base);
+            g.hi = g.hi.max(base + size);
+            g.allocated += size;
+            g.members += 1;
+        }
+        if size >= self.cfg.alloc_threshold {
+            self.objects.register_dynamic(&callsite.file_line(), base, size);
+            self.alloc_sites.insert(base, ip);
+            self.events.push(TraceEvent {
+                cycles: now,
+                core: 0,
+                payload: EventPayload::Alloc { base, size, callsite: ip },
+            });
+        }
+        base
+    }
+
+    /// Interposed `free`. Unknown bases are ignored (like glibc's
+    /// tolerance is *not*, but the tracer must not crash the app).
+    pub fn free(&mut self, base: u64, now: u64) {
+        if self.alloc.free(base).is_some()
+            && self.objects.remove_dynamic(base).is_some() {
+                self.alloc_sites.remove(&base);
+                self.events.push(TraceEvent { cycles: now, core: 0, payload: EventPayload::Free { base } });
+            }
+    }
+
+    /// Interposed `realloc`: move + rename, keeping the original
+    /// call-site identity as real Extrae does.
+    pub fn realloc(&mut self, base: u64, new_size: u64, callsite: &CodeLocation, now: u64) -> Option<u64> {
+        self.alloc.containing(base)?;
+        self.free(base, now);
+        Some(self.malloc(new_size, callsite, now))
+    }
+
+    /// Begin capturing allocations into a named group (the paper's
+    /// manual wrapping of HPCG's tiny per-row allocations). Nested
+    /// groups are not supported.
+    pub fn begin_alloc_group(&mut self, name: &str) {
+        assert!(self.group.is_none(), "allocation groups cannot nest");
+        self.group = Some(GroupCapture {
+            name: name.to_string(),
+            lo: u64::MAX,
+            hi: 0,
+            allocated: 0,
+            members: 0,
+        });
+    }
+
+    /// Close the open group, registering the wrapped address range as
+    /// one object. Returns the object id (None if nothing was
+    /// allocated inside the group).
+    pub fn end_alloc_group(&mut self) -> Option<ObjectId> {
+        let g = self.group.take().expect("no open allocation group");
+        if g.members == 0 {
+            return None;
+        }
+        Some(self.objects.register_group(&g.name, g.lo, g.hi - g.lo, g.allocated))
+    }
+
+    /// Register a static data object (symbol-table scan).
+    pub fn register_static(&mut self, name: &str, base: u64, size: u64) -> ObjectId {
+        self.objects.register_static(name, base, size)
+    }
+
+    /// The ASLR slide of this run's address space.
+    pub fn aslr_slide(&self) -> u64 {
+        self.alloc.slide()
+    }
+
+    /// Direct read-only access to the object registry.
+    pub fn objects(&self) -> &ObjectRegistry {
+        &self.objects
+    }
+
+    /// Direct read-only access to the source map.
+    pub fn source(&self) -> &SourceMap {
+        &self.source
+    }
+
+    /// Events recorded so far.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Current resolution statistics.
+    pub fn resolution(&self) -> ResolutionStats {
+        self.resolution
+    }
+
+    /// Finish the run and produce the trace. Panics if any region is
+    /// still open (unbalanced instrumentation).
+    pub fn finish(self, description: &str) -> Trace {
+        for (core, stack) in self.region_stacks.iter().enumerate() {
+            assert!(
+                stack.is_empty(),
+                "core {core} finished with {} open region(s): {:?}",
+                stack.len(),
+                stack.iter().map(|r| &self.region_names[r.0 as usize]).collect::<Vec<_>>()
+            );
+        }
+        let mut events = self.events;
+        // Events from different cores interleave; keep a stable global
+        // time order for consumers.
+        events.sort_by_key(|e| e.cycles);
+        Trace {
+            meta: TraceMeta {
+                freq_mhz: self.cfg.freq_mhz,
+                num_cores: self.num_cores,
+                aslr_slide: self.alloc.slide(),
+                description: description.to_string(),
+            },
+            events,
+            source: self.source,
+            objects: self.objects,
+            region_names: self.region_names,
+            resolution: self.resolution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_memsim::MemLevel;
+
+    fn loc(line: u32) -> CodeLocation {
+        CodeLocation::new("GenerateProblem_ref.cpp", line, "GenerateProblem")
+    }
+
+    fn sample(addr: u64, ts: u64) -> PebsSample {
+        PebsSample {
+            timestamp: ts,
+            core: 0,
+            ip: 0x400000,
+            addr,
+            size: 8,
+            is_store: false,
+            latency: 10,
+            source: MemLevel::L2,
+            tlb_miss: false,
+        }
+    }
+
+    #[test]
+    fn region_lifecycle_and_instances() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let c = CounterSnapshot::default();
+        for i in 0..3u64 {
+            t.enter(0, "ComputeSYMGS_ref", c, i * 100);
+            t.exit(0, "ComputeSYMGS_ref", c, i * 100 + 50);
+        }
+        let tr = t.finish("test");
+        let id = tr.region_id("ComputeSYMGS_ref").unwrap();
+        assert_eq!(tr.region_instances(id, 0), vec![(0, 50), (100, 150), (200, 250)]);
+        assert_eq!(tr.region_name(id), "ComputeSYMGS_ref");
+    }
+
+    #[test]
+    fn nested_and_recursive_regions() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let c = CounterSnapshot::default();
+        t.enter(0, "MG", c, 0);
+        t.enter(0, "SYMGS", c, 10);
+        t.exit(0, "SYMGS", c, 20);
+        t.enter(0, "MG", c, 30); // recursion
+        t.exit(0, "MG", c, 40);
+        t.exit(0, "MG", c, 50);
+        let tr = t.finish("test");
+        let mg = tr.region_id("MG").unwrap();
+        assert_eq!(tr.region_instances(mg, 0), vec![(0, 50)], "only top-level pair");
+        let sy = tr.region_id("SYMGS").unwrap();
+        assert_eq!(tr.region_instances(sy, 0), vec![(10, 20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced instrumentation")]
+    fn unbalanced_exit_panics() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let c = CounterSnapshot::default();
+        t.enter(0, "A", c, 0);
+        t.enter(0, "B", c, 1);
+        t.exit(0, "A", c, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "open region")]
+    fn finish_with_open_region_panics() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        t.enter(0, "A", CounterSnapshot::default(), 0);
+        let _ = t.finish("bad");
+    }
+
+    #[test]
+    fn small_allocations_below_threshold_are_unresolved() {
+        let mut t = Tracer::new(TracerConfig { alloc_threshold: 1024, ..Default::default() }, 1);
+        // HPCG-style tiny allocation (216 B < 1 KiB threshold).
+        let p = t.malloc(216, &loc(110), 0);
+        t.record_pebs(sample(p + 8, 10));
+        assert_eq!(t.resolution().resolved, 0);
+        assert_eq!(t.resolution().unresolved, 1);
+    }
+
+    #[test]
+    fn large_allocations_resolve_by_callsite() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let p = t.malloc(1 << 20, &loc(143), 0);
+        t.record_pebs(sample(p + 4096, 10));
+        assert_eq!(t.resolution().resolved, 1);
+        let tr = t.finish("test");
+        let (_, _, obj) = tr.pebs_events().next().unwrap();
+        let o = tr.objects.get(obj.unwrap()).unwrap();
+        assert_eq!(o.name, "GenerateProblem_ref.cpp:143");
+    }
+
+    #[test]
+    fn grouping_rescues_tiny_allocations() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        t.begin_alloc_group("124_GenerateProblem_ref.cpp");
+        let mut first = u64::MAX;
+        let mut last = 0;
+        for _ in 0..100 {
+            let p = t.malloc(216, &loc(110), 0);
+            first = first.min(p);
+            last = last.max(p + 216);
+        }
+        let gid = t.end_alloc_group().unwrap();
+        let desc = t.objects().get(gid).unwrap().clone();
+        assert_eq!(desc.base, first);
+        assert_eq!(desc.end(), last);
+        assert_eq!(desc.allocated_bytes, 21_600);
+        // A sample inside any member now resolves to the group.
+        t.record_pebs(sample(first + 1000, 5));
+        assert_eq!(t.resolution().resolved, 1);
+    }
+
+    #[test]
+    fn empty_group_yields_none() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        t.begin_alloc_group("empty");
+        assert!(t.end_alloc_group().is_none());
+    }
+
+    #[test]
+    fn free_unregisters_object() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let p = t.malloc(4096, &loc(1), 0);
+        t.free(p, 1);
+        t.record_pebs(sample(p, 2));
+        assert_eq!(t.resolution().unresolved, 1);
+        // Double free is a no-op.
+        t.free(p, 3);
+    }
+
+    #[test]
+    fn realloc_keeps_callsite_name() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let p = t.malloc(4096, &loc(7), 0);
+        let q = t.realloc(p, 8192, &loc(7), 1).unwrap();
+        assert_ne!(p, q);
+        t.record_pebs(sample(q + 100, 2));
+        assert_eq!(t.resolution().resolved, 1);
+        assert!(t.realloc(0xbad, 10, &loc(7), 2).is_none());
+    }
+
+    #[test]
+    fn finish_sorts_events_globally() {
+        let mut t = Tracer::new(TracerConfig::default(), 2);
+        let c = CounterSnapshot::default();
+        t.enter(1, "B", c, 50);
+        t.enter(0, "A", c, 10);
+        t.exit(0, "A", c, 60);
+        t.exit(1, "B", c, 55);
+        let tr = t.finish("test");
+        let times: Vec<u64> = tr.events.iter().map(|e| e.cycles).collect();
+        assert_eq!(times, vec![10, 50, 55, 60]);
+    }
+
+    #[test]
+    fn cycles_to_ns_uses_nominal_frequency() {
+        let t = Tracer::new(TracerConfig { freq_mhz: 2500, ..Default::default() }, 1);
+        let tr = t.finish("test");
+        assert!((tr.cycles_to_ns(2500) - 1000.0).abs() < 1e-9, "2500 cycles @2.5GHz = 1 µs");
+    }
+
+    #[test]
+    fn mux_and_user_events_recorded() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        t.record_mux_switch(0, 1, "stores", 100);
+        t.user_event(0, 42, 7, 200);
+        let tr = t.finish("test");
+        assert_eq!(tr.num_events(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the monitoring runtime.
+
+use mempersp_extrae::trace_format::{parse_trace, write_trace};
+use mempersp_extrae::{CodeLocation, SimAllocator, Tracer, TracerConfig};
+use mempersp_memsim::MemLevel;
+use mempersp_pebs::{CounterSnapshot, PebsSample};
+use proptest::prelude::*;
+
+fn arb_level() -> impl Strategy<Value = MemLevel> {
+    prop_oneof![
+        Just(MemLevel::L1),
+        Just(MemLevel::L2),
+        Just(MemLevel::L3),
+        Just(MemLevel::Dram)
+    ]
+}
+
+proptest! {
+    /// Live allocations never overlap, whatever the malloc/free mix.
+    #[test]
+    fn allocations_never_overlap(
+        ops in prop::collection::vec((1u64..1 << 21, any::<bool>()), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let mut a = SimAllocator::new(seed);
+        let mut live: Vec<u64> = Vec::new();
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let base = live.swap_remove(0);
+                prop_assert!(a.free(base).is_some());
+            } else {
+                live.push(a.malloc(size));
+            }
+            let allocs: Vec<_> = a.iter_live().collect();
+            for w in allocs.windows(2) {
+                prop_assert!(
+                    w[0].base + w[0].size <= w[1].base,
+                    "overlap: {:?} vs {:?}", w[0], w[1]
+                );
+            }
+        }
+        prop_assert_eq!(a.live_count(), live.len());
+    }
+
+    /// Every interior address of a live allocation resolves to it, and
+    /// `containing` never returns a freed block.
+    #[test]
+    fn containing_is_exact(sizes in prop::collection::vec(1u64..4096, 1..50)) {
+        let mut a = SimAllocator::new(99);
+        let bases: Vec<(u64, u64)> = sizes.iter().map(|&s| (a.malloc(s), s)).collect();
+        for &(b, s) in &bases {
+            prop_assert_eq!(a.containing(b).unwrap().base, b);
+            prop_assert_eq!(a.containing(b + s - 1).unwrap().base, b);
+        }
+        // Free every other block and re-check.
+        for (i, &(b, _)) in bases.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(b);
+            }
+        }
+        for (i, &(b, _)) in bases.iter().enumerate() {
+            let hit = a.containing(b).map(|x| x.base);
+            if i % 2 == 0 {
+                prop_assert_ne!(hit, Some(b));
+            } else {
+                prop_assert_eq!(hit, Some(b));
+            }
+        }
+    }
+
+    /// The trace text format round-trips arbitrary event mixes.
+    #[test]
+    fn trace_format_round_trips(
+        events in prop::collection::vec(
+            (0u64..1 << 40, 0usize..4, 0u32..1000, any::<bool>(), arb_level(), 1u32..512),
+            0..100,
+        ),
+        descr in "[ -~]{0,40}",
+        threshold in 1u64..10_000,
+    ) {
+        let mut t = Tracer::new(
+            TracerConfig { alloc_threshold: threshold, aslr_seed: 7, freq_mhz: 2500 },
+            4,
+        );
+        let ip = t.location("kernel.rs", 1, "kernel");
+        let c = CounterSnapshot::from_values([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        let big = t.malloc(1 << 20, &CodeLocation::new("alloc.rs", 10, "setup"), 0);
+        for (i, (ts, core, lat, is_store, source, size)) in events.iter().enumerate() {
+            match i % 3 {
+                0 => t.record_pebs(PebsSample {
+                    timestamp: *ts,
+                    core: *core,
+                    ip: ip.0,
+                    addr: big + (i as u64 * 64) % (1 << 20),
+                    size: *size,
+                    is_store: *is_store,
+                    latency: *lat,
+                    source: *source,
+                    tlb_miss: i % 5 == 0,
+                }),
+                1 => t.record_counter_sample(*core, ip, c, *ts),
+                _ => t.user_event(*core, i as u32, *ts, *ts),
+            }
+        }
+        let trace = t.finish(&descr);
+        let text = write_trace(&trace);
+        let back = parse_trace(&text).expect("parse back");
+        prop_assert_eq!(&back.meta, &trace.meta);
+        prop_assert_eq!(&back.events, &trace.events);
+        prop_assert_eq!(&back.resolution, &trace.resolution);
+        // Re-serialization is byte-stable.
+        prop_assert_eq!(write_trace(&back), text);
+    }
+
+    /// Allocation grouping always covers exactly its members: group
+    /// range = [min base, max end] and allocated = sum of sizes.
+    #[test]
+    fn group_covers_members(sizes in prop::collection::vec(1u64..500, 1..100)) {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        t.begin_alloc_group("g");
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut sum = 0u64;
+        for &s in &sizes {
+            let b = t.malloc(s, &CodeLocation::new("x.rs", 1, "x"), 0);
+            lo = lo.min(b);
+            hi = hi.max(b + s);
+            sum += s;
+        }
+        let id = t.end_alloc_group().unwrap();
+        let o = t.objects().get(id).unwrap();
+        prop_assert_eq!(o.base, lo);
+        prop_assert_eq!(o.end(), hi);
+        prop_assert_eq!(o.allocated_bytes, sum);
+        // Every member's first byte resolves to the group.
+        prop_assert!(t.objects().resolve(lo).is_some());
+        prop_assert!(t.objects().resolve(hi - 1).is_some());
+    }
+
+    /// The parser never panics, whatever bytes it is fed — it returns
+    /// a structured error instead.
+    #[test]
+    fn parser_never_panics_on_garbage(text in "[ -~\\n]{0,500}") {
+        let _ = parse_trace(&text);
+    }
+
+    /// Nor on a valid trace with random single-character corruption.
+    #[test]
+    fn parser_never_panics_on_corruption(pos in 0usize..4096, ch_off in 0u8..94) {
+        let ch = (b' ' + ch_off) as char;
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let ip = t.location("kernel.rs", 1, "kernel");
+        let c = CounterSnapshot::default();
+        t.enter(0, "R", c, 0);
+        t.record_counter_sample(0, ip, c, 5);
+        t.exit(0, "R", c, 10);
+        let mut text = write_trace(&t.finish("fuzz"));
+        if !text.is_empty() {
+            let pos = pos % text.len();
+            // Replace one byte at a char boundary (ASCII format).
+            if text.is_char_boundary(pos) && text.is_char_boundary(pos + 1) {
+                text.replace_range(pos..pos + 1, &ch.to_string());
+            }
+        }
+        let _ = parse_trace(&text);
+    }
+
+    /// Threshold semantics: a sample inside an allocation resolves iff
+    /// the allocation met the threshold.
+    #[test]
+    fn threshold_controls_resolution(size in 1u64..10_000, threshold in 1u64..10_000) {
+        let mut t = Tracer::new(
+            TracerConfig { alloc_threshold: threshold, ..Default::default() },
+            1,
+        );
+        let b = t.malloc(size, &CodeLocation::new("x.rs", 2, "x"), 0);
+        t.record_pebs(PebsSample {
+            timestamp: 1,
+            core: 0,
+            ip: 0,
+            addr: b,
+            size: 1,
+            is_store: false,
+            latency: 1,
+            source: MemLevel::L1,
+            tlb_miss: false,
+        });
+        let r = t.resolution();
+        if size >= threshold {
+            prop_assert_eq!((r.resolved, r.unresolved), (1, 0));
+        } else {
+            prop_assert_eq!((r.resolved, r.unresolved), (0, 1));
+        }
+    }
+}

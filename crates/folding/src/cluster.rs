@@ -1,0 +1,193 @@
+//! Duration clustering of region instances.
+//!
+//! The BSC folding tool-chain clusters the instances of a region by
+//! behaviour (duration, counters) and folds each cluster separately —
+//! one region name can hide several distinct behaviours (the fine and
+//! coarse SYMGS calls of a multigrid hierarchy being the canonical
+//! example). This module provides a deterministic 1-D k-means over
+//! instance durations with automatic k selection by the largest
+//! relative gap.
+
+use crate::instances::RegionInstance;
+use serde::{Deserialize, Serialize};
+
+/// One duration cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurationCluster {
+    /// Mean duration (cycles).
+    pub centroid: f64,
+    /// Member indices into the instance list handed to
+    /// [`cluster_by_duration`].
+    pub members: Vec<usize>,
+}
+
+impl DurationCluster {
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Deterministic 1-D k-means (exact via sorting + split optimization
+/// would be overkill; Lloyd's with sorted-quantile init converges in
+/// a few passes on 1-D data).
+fn kmeans_1d(values: &[f64], k: usize) -> Vec<usize> {
+    debug_assert!(k >= 1 && k <= values.len());
+    // Init: quantile seeds over the sorted values.
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| sorted[(i * (values.len() - 1)) / k.max(1)])
+        .collect();
+    centroids.dedup();
+    let k = centroids.len();
+    let mut assign = vec![0usize; values.len()];
+    for _ in 0..32 {
+        let mut changed = false;
+        for (i, &v) in values.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (v - *a).abs().partial_cmp(&(v - *b).abs()).expect("finite")
+                })
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (i, &v) in values.iter().enumerate() {
+            sums[assign[i]] += v;
+            counts[assign[i]] += 1;
+        }
+        for j in 0..k {
+            if counts[j] > 0 {
+                centroids[j] = sums[j] / counts[j] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assign
+}
+
+/// Cluster instances by duration. `k = None` selects k automatically:
+/// the sorted durations are scanned for relative gaps larger than 2×
+/// (adjacent durations differing by more than that start a new
+/// cluster), capped at 4 clusters.
+pub fn cluster_by_duration(instances: &[RegionInstance], k: Option<usize>) -> Vec<DurationCluster> {
+    if instances.is_empty() {
+        return Vec::new();
+    }
+    let durations: Vec<f64> = instances.iter().map(|i| i.duration() as f64).collect();
+
+    let k = k.unwrap_or_else(|| {
+        let mut sorted = durations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut clusters = 1usize;
+        for w in sorted.windows(2) {
+            if w[0] > 0.0 && w[1] / w[0] > 2.0 {
+                clusters += 1;
+            }
+        }
+        clusters.min(4)
+    })
+    .min(instances.len())
+    .max(1);
+
+    let assign = kmeans_1d(&durations, k);
+    let k_eff = assign.iter().copied().max().unwrap_or(0) + 1;
+    let mut clusters: Vec<DurationCluster> = (0..k_eff)
+        .map(|_| DurationCluster { centroid: 0.0, members: Vec::new() })
+        .collect();
+    for (i, &c) in assign.iter().enumerate() {
+        clusters[c].members.push(i);
+    }
+    clusters.retain(|c| !c.is_empty());
+    for c in &mut clusters {
+        c.centroid =
+            c.members.iter().map(|&i| durations[i]).sum::<f64>() / c.members.len() as f64;
+    }
+    // Slowest cluster first (the usual analysis target).
+    clusters.sort_by(|a, b| b.centroid.partial_cmp(&a.centroid).expect("finite"));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_pebs::CounterSnapshot;
+
+    fn inst(duration: u64) -> RegionInstance {
+        RegionInstance {
+            core: 0,
+            start_cycles: 0,
+            end_cycles: duration,
+            counters_in: CounterSnapshot::default(),
+            counters_out: CounterSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn separates_mg_level_durations() {
+        // 8 fine (≈1000), 8 coarse (≈120), 4 coarsest (≈15).
+        let mut v = Vec::new();
+        for i in 0..8 {
+            v.push(inst(1000 + i));
+        }
+        for i in 0..8 {
+            v.push(inst(120 + i));
+        }
+        for i in 0..4 {
+            v.push(inst(15 + i));
+        }
+        let clusters = cluster_by_duration(&v, None);
+        assert_eq!(clusters.len(), 3, "{clusters:?}");
+        assert_eq!(clusters[0].len(), 8);
+        assert!(clusters[0].centroid > 1000.0 - 1.0);
+        assert_eq!(clusters[1].len(), 8);
+        assert_eq!(clusters[2].len(), 4);
+        // Members index the original list.
+        assert!(clusters[0].members.iter().all(|&i| i < 8));
+    }
+
+    #[test]
+    fn uniform_durations_single_cluster() {
+        let v: Vec<RegionInstance> = (0..10).map(|i| inst(500 + i % 3)).collect();
+        let clusters = cluster_by_duration(&v, None);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 10);
+    }
+
+    #[test]
+    fn explicit_k_respected() {
+        let v: Vec<RegionInstance> = (0..12).map(|i| inst(100 * (i + 1))).collect();
+        let clusters = cluster_by_duration(&v, Some(3));
+        assert_eq!(clusters.len(), 3);
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(cluster_by_duration(&[], None).is_empty());
+        let one = cluster_by_duration(&[inst(42)], None);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].centroid, 42.0);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let v = vec![inst(10), inst(20)];
+        let clusters = cluster_by_duration(&v, Some(10));
+        assert!(clusters.len() <= 2);
+    }
+}

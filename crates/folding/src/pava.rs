@@ -1,0 +1,127 @@
+//! Weighted isotonic regression via the Pool-Adjacent-Violators
+//! Algorithm (PAVA).
+//!
+//! Counter values are cumulative, so the folded progress curve must be
+//! non-decreasing; PAVA projects the noisy binned means onto the
+//! monotone cone in O(n).
+
+/// Weighted PAVA: given `values[i]` with positive `weights[i]`,
+/// returns the non-decreasing sequence minimizing the weighted squared
+/// error. Zero-weight entries are treated as weight-free placeholders
+/// that simply follow their pool.
+pub fn pava_nondecreasing(values: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), weights.len());
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Blocks of pooled entries: (mean, weight, count).
+    let mut means: Vec<f64> = Vec::with_capacity(n);
+    let mut wsum: Vec<f64> = Vec::with_capacity(n);
+    let mut count: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        means.push(values[i]);
+        wsum.push(weights[i].max(0.0));
+        count.push(1);
+        // Merge while the monotonicity constraint is violated.
+        while means.len() >= 2 {
+            let m = means.len();
+            if means[m - 2] <= means[m - 1] {
+                break;
+            }
+            let w_total = wsum[m - 2] + wsum[m - 1];
+            let merged = if w_total > 0.0 {
+                (means[m - 2] * wsum[m - 2] + means[m - 1] * wsum[m - 1]) / w_total
+            } else {
+                // Both weightless: plain average keeps determinism.
+                (means[m - 2] + means[m - 1]) / 2.0
+            };
+            means[m - 2] = merged;
+            wsum[m - 2] = w_total;
+            count[m - 2] += count[m - 1];
+            means.pop();
+            wsum.pop();
+            count.pop();
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for (m, c) in means.iter().zip(count.iter()) {
+        for _ in 0..*c {
+            out.push(*m);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_nondecreasing(v: &[f64]) -> bool {
+        v.windows(2).all(|w| w[0] <= w[1] + 1e-12)
+    }
+
+    #[test]
+    fn already_monotone_is_unchanged() {
+        let v = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+        let w = vec![1.0; 5];
+        assert_eq!(pava_nondecreasing(&v, &w), v);
+    }
+
+    #[test]
+    fn single_violation_pooled() {
+        let v = vec![0.0, 0.6, 0.4, 1.0];
+        let w = vec![1.0; 4];
+        let out = pava_nondecreasing(&v, &w);
+        assert!(is_nondecreasing(&out));
+        assert!((out[1] - 0.5).abs() < 1e-12);
+        assert!((out[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_bias_the_pool() {
+        let v = vec![0.8, 0.2];
+        let w = vec![3.0, 1.0];
+        let out = pava_nondecreasing(&v, &w);
+        // Pooled mean = (0.8*3 + 0.2*1)/4 = 0.65.
+        assert!((out[0] - 0.65).abs() < 1e-12);
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn strictly_decreasing_collapses_to_mean() {
+        let v = vec![4.0, 3.0, 2.0, 1.0];
+        let w = vec![1.0; 4];
+        let out = pava_nondecreasing(&v, &w);
+        assert!(out.iter().all(|&x| (x - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pava_nondecreasing(&[], &[]).is_empty());
+        assert_eq!(pava_nondecreasing(&[7.0], &[1.0]), vec![7.0]);
+    }
+
+    #[test]
+    fn zero_weight_entries_follow_pool() {
+        let v = vec![0.0, 100.0, 0.5, 1.0];
+        let w = vec![1.0, 0.0, 1.0, 1.0];
+        let out = pava_nondecreasing(&v, &w);
+        assert!(is_nondecreasing(&out));
+        // The weightless spike cannot pull the pooled value above its
+        // weighted neighbours' mean.
+        assert!(out[1] <= 0.5 + 1e-12, "got {out:?}");
+    }
+
+    #[test]
+    fn output_preserves_length_and_bounds() {
+        let v: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64 / 100.0).collect();
+        let w = vec![1.0; 100];
+        let out = pava_nondecreasing(&v, &w);
+        assert_eq!(out.len(), 100);
+        assert!(is_nondecreasing(&out));
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(out.iter().all(|&x| x >= lo - 1e-12 && x <= hi + 1e-12));
+    }
+}

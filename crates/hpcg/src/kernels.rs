@@ -1,0 +1,366 @@
+//! The instrumented computational kernels.
+//!
+//! Each kernel mirrors its HPCG 3.0 reference counterpart: it performs
+//! the real arithmetic on the host values *and* emits one simulated
+//! load/store per array element touched, attributed to an instruction
+//! pointer that maps back to the corresponding reference source line.
+//!
+//! The `set_overlap` hints encode the kernels' dependency structure:
+//! the Gauss–Seidel sweeps carry a loop dependency through `x` (each
+//! row needs values just produced), so their misses overlap poorly;
+//! SpMV rows are independent and stream with high memory-level
+//! parallelism. These are the knobs behind the paper's observation
+//! that SpMV sustains ≈1.5× the bandwidth of the SYMGS sweeps over the
+//! same data structure.
+
+use crate::regions;
+use crate::structures::{SimVector, SparseMatrix};
+use mempersp_extrae::{AppContext, Ip};
+
+/// Source file of the SYMGS sweeps (for ip-based sweep attribution).
+pub const SYMGS_FILE: &str = "ComputeSYMGS_ref.cpp";
+/// Inclusive line range of the forward sweep's statements.
+pub const SYMGS_FWD_LINES: (u32, u32) = (67, 78);
+/// Inclusive line range of the backward sweep's statements.
+pub const SYMGS_BWD_LINES: (u32, u32) = (84, 95);
+
+/// Memory-level-parallelism hint for the Gauss–Seidel sweeps.
+/// The sweeps carry a loop dependency through `x`, but only ~1 of the
+/// ~3 streams (values, indices, gather) is dependent, and Haswell's
+/// out-of-order window still overlaps the independent row streams —
+/// hence clearly below SpMV but well above serial.
+pub const SYMGS_OVERLAP: f64 = 4.0;
+/// Memory-level-parallelism hint for SpMV (independent rows).
+pub const SPMV_OVERLAP: f64 = 7.0;
+/// Memory-level-parallelism hint for the streaming vector kernels.
+pub const STREAM_OVERLAP: f64 = 9.0;
+
+/// Pre-registered instruction pointers of every instrumented
+/// statement. Line numbers follow the HPCG 3.0 reference sources.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelIps {
+    // ComputeSPMV_ref.cpp
+    pub spmv_cols: Ip,
+    pub spmv_vals: Ip,
+    pub spmv_x: Ip,
+    pub spmv_store: Ip,
+    pub spmv_loop: Ip,
+    // ComputeSYMGS_ref.cpp — forward sweep
+    pub symgs_fwd_b: Ip,
+    pub symgs_fwd_vals: Ip,
+    pub symgs_fwd_cols: Ip,
+    pub symgs_fwd_x: Ip,
+    pub symgs_fwd_store: Ip,
+    pub symgs_fwd_loop: Ip,
+    // ComputeSYMGS_ref.cpp — backward sweep
+    pub symgs_bwd_b: Ip,
+    pub symgs_bwd_vals: Ip,
+    pub symgs_bwd_cols: Ip,
+    pub symgs_bwd_x: Ip,
+    pub symgs_bwd_store: Ip,
+    pub symgs_bwd_loop: Ip,
+    // ComputeDotProduct_ref.cpp
+    pub dot_x: Ip,
+    pub dot_y: Ip,
+    pub dot_loop: Ip,
+    // ComputeWAXPBY_ref.cpp
+    pub waxpby_x: Ip,
+    pub waxpby_y: Ip,
+    pub waxpby_store: Ip,
+    pub waxpby_loop: Ip,
+    // ComputeRestriction_ref.cpp
+    pub restr_f2c: Ip,
+    pub restr_rf: Ip,
+    pub restr_axf: Ip,
+    pub restr_store: Ip,
+    pub restr_loop: Ip,
+    // ComputeProlongation_ref.cpp
+    pub prolong_f2c: Ip,
+    pub prolong_xc: Ip,
+    pub prolong_xf: Ip,
+    pub prolong_store: Ip,
+    pub prolong_loop: Ip,
+    // ComputeMG_ref.cpp (ZeroVector)
+    pub zero_store: Ip,
+    pub zero_loop: Ip,
+}
+
+impl KernelIps {
+    /// Register every instrumented statement with the context.
+    pub fn register(ctx: &mut dyn AppContext) -> Self {
+        let spmv = "ComputeSPMV_ref";
+        let symgs = "ComputeSYMGS_ref";
+        Self {
+            spmv_cols: ctx.location("ComputeSPMV_ref.cpp", 61, spmv),
+            spmv_vals: ctx.location("ComputeSPMV_ref.cpp", 62, spmv),
+            spmv_x: ctx.location("ComputeSPMV_ref.cpp", 63, spmv),
+            spmv_store: ctx.location("ComputeSPMV_ref.cpp", 65, spmv),
+            spmv_loop: ctx.location("ComputeSPMV_ref.cpp", 59, spmv),
+            symgs_fwd_b: ctx.location("ComputeSYMGS_ref.cpp", 68, symgs),
+            symgs_fwd_vals: ctx.location("ComputeSYMGS_ref.cpp", 70, symgs),
+            symgs_fwd_cols: ctx.location("ComputeSYMGS_ref.cpp", 71, symgs),
+            symgs_fwd_x: ctx.location("ComputeSYMGS_ref.cpp", 73, symgs),
+            symgs_fwd_store: ctx.location("ComputeSYMGS_ref.cpp", 78, symgs),
+            symgs_fwd_loop: ctx.location("ComputeSYMGS_ref.cpp", 67, symgs),
+            symgs_bwd_b: ctx.location("ComputeSYMGS_ref.cpp", 85, symgs),
+            symgs_bwd_vals: ctx.location("ComputeSYMGS_ref.cpp", 87, symgs),
+            symgs_bwd_cols: ctx.location("ComputeSYMGS_ref.cpp", 88, symgs),
+            symgs_bwd_x: ctx.location("ComputeSYMGS_ref.cpp", 90, symgs),
+            symgs_bwd_store: ctx.location("ComputeSYMGS_ref.cpp", 95, symgs),
+            symgs_bwd_loop: ctx.location("ComputeSYMGS_ref.cpp", 84, symgs),
+            dot_x: ctx.location("ComputeDotProduct_ref.cpp", 47, "ComputeDotProduct_ref"),
+            dot_y: ctx.location("ComputeDotProduct_ref.cpp", 48, "ComputeDotProduct_ref"),
+            dot_loop: ctx.location("ComputeDotProduct_ref.cpp", 45, "ComputeDotProduct_ref"),
+            waxpby_x: ctx.location("ComputeWAXPBY_ref.cpp", 47, "ComputeWAXPBY_ref"),
+            waxpby_y: ctx.location("ComputeWAXPBY_ref.cpp", 48, "ComputeWAXPBY_ref"),
+            waxpby_store: ctx.location("ComputeWAXPBY_ref.cpp", 49, "ComputeWAXPBY_ref"),
+            waxpby_loop: ctx.location("ComputeWAXPBY_ref.cpp", 45, "ComputeWAXPBY_ref"),
+            restr_f2c: ctx.location("ComputeRestriction_ref.cpp", 40, "ComputeRestriction_ref"),
+            restr_rf: ctx.location("ComputeRestriction_ref.cpp", 41, "ComputeRestriction_ref"),
+            restr_axf: ctx.location("ComputeRestriction_ref.cpp", 42, "ComputeRestriction_ref"),
+            restr_store: ctx.location("ComputeRestriction_ref.cpp", 43, "ComputeRestriction_ref"),
+            restr_loop: ctx.location("ComputeRestriction_ref.cpp", 39, "ComputeRestriction_ref"),
+            prolong_f2c: ctx.location("ComputeProlongation_ref.cpp", 39, "ComputeProlongation_ref"),
+            prolong_xc: ctx.location("ComputeProlongation_ref.cpp", 40, "ComputeProlongation_ref"),
+            prolong_xf: ctx.location("ComputeProlongation_ref.cpp", 41, "ComputeProlongation_ref"),
+            prolong_store: ctx.location("ComputeProlongation_ref.cpp", 42, "ComputeProlongation_ref"),
+            prolong_loop: ctx.location("ComputeProlongation_ref.cpp", 38, "ComputeProlongation_ref"),
+            zero_store: ctx.location("ComputeMG_ref.cpp", 40, "ComputeMG_ref"),
+            zero_loop: ctx.location("ComputeMG_ref.cpp", 39, "ComputeMG_ref"),
+        }
+    }
+}
+
+/// y = A·x (`ComputeSPMV_ref`).
+pub fn compute_spmv(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    ips: &KernelIps,
+    a: &SparseMatrix,
+    x: &SimVector,
+    y: &mut SimVector,
+) {
+    assert_eq!(x.len(), a.nrows());
+    assert_eq!(y.len(), a.nrows());
+    ctx.enter(core, regions::SPMV);
+    ctx.set_overlap(core, SPMV_OVERLAP);
+    for i in 0..a.nrows() {
+        let nnz = a.row_nnz(i);
+        let cols = a.row_cols(i);
+        let vals = a.row_values(i);
+        let mut sum = 0.0;
+        for k in 0..nnz {
+            ctx.load(core, ips.spmv_cols, a.col_addr(i, k), 4);
+            ctx.load(core, ips.spmv_vals, a.value_addr(i, k), 8);
+            let j = cols[k] as usize;
+            ctx.load(core, ips.spmv_x, x.addr(j), 8);
+            sum += vals[k] * x.get(j);
+        }
+        y.set(i, sum);
+        ctx.store(core, ips.spmv_store, y.addr(i), 8);
+        ctx.compute(core, ips.spmv_loop, (2 * nnz + 4) as u64, (nnz + 1) as u64);
+    }
+    ctx.exit(core, regions::SPMV);
+}
+
+/// One row update of a Gauss–Seidel sweep (shared by both directions).
+#[allow(clippy::too_many_arguments)]
+fn symgs_row(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    a: &SparseMatrix,
+    b: &SimVector,
+    x: &mut SimVector,
+    i: usize,
+    ip_b: Ip,
+    ip_vals: Ip,
+    ip_cols: Ip,
+    ip_x: Ip,
+    ip_store: Ip,
+    ip_loop: Ip,
+) {
+    let nnz = a.row_nnz(i);
+    let cols = a.row_cols(i);
+    let vals = a.row_values(i);
+    let diag = a.diag(i);
+    ctx.load(core, ip_b, b.addr(i), 8);
+    let mut sum = b.get(i);
+    for k in 0..nnz {
+        ctx.load(core, ip_cols, a.col_addr(i, k), 4);
+        ctx.load(core, ip_vals, a.value_addr(i, k), 8);
+        let j = cols[k] as usize;
+        ctx.load(core, ip_x, x.addr(j), 8);
+        sum -= vals[k] * x.get(j);
+    }
+    // Remove the self-contribution added in the loop (reference code's
+    // `sum += xv[i] * currentDiagonal`).
+    sum += x.get(i) * diag;
+    x.set(i, sum / diag);
+    ctx.store(core, ip_store, x.addr(i), 8);
+    ctx.compute(core, ip_loop, (2 * nnz + 8) as u64, (nnz + 1) as u64);
+}
+
+/// One symmetric Gauss–Seidel iteration: a forward sweep over the rows
+/// followed by a backward sweep (`ComputeSYMGS_ref`). The two sweeps
+/// are the paper's a1/a2 (d1/d2) address ramps.
+pub fn compute_symgs(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    ips: &KernelIps,
+    a: &SparseMatrix,
+    b: &SimVector,
+    x: &mut SimVector,
+) {
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    ctx.enter(core, regions::SYMGS);
+    ctx.set_overlap(core, SYMGS_OVERLAP);
+    for i in 0..a.nrows() {
+        symgs_row(
+            ctx,
+            core,
+            a,
+            b,
+            x,
+            i,
+            ips.symgs_fwd_b,
+            ips.symgs_fwd_vals,
+            ips.symgs_fwd_cols,
+            ips.symgs_fwd_x,
+            ips.symgs_fwd_store,
+            ips.symgs_fwd_loop,
+        );
+    }
+    for i in (0..a.nrows()).rev() {
+        symgs_row(
+            ctx,
+            core,
+            a,
+            b,
+            x,
+            i,
+            ips.symgs_bwd_b,
+            ips.symgs_bwd_vals,
+            ips.symgs_bwd_cols,
+            ips.symgs_bwd_x,
+            ips.symgs_bwd_store,
+            ips.symgs_bwd_loop,
+        );
+    }
+    ctx.exit(core, regions::SYMGS);
+}
+
+/// result = ⟨x, y⟩ (`ComputeDotProduct_ref`).
+pub fn compute_dot(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    ips: &KernelIps,
+    x: &SimVector,
+    y: &SimVector,
+) -> f64 {
+    assert_eq!(x.len(), y.len());
+    ctx.enter(core, regions::DOT);
+    ctx.set_overlap(core, STREAM_OVERLAP);
+    let same = x.base() == y.base();
+    let mut sum = 0.0;
+    for i in 0..x.len() {
+        ctx.load(core, ips.dot_x, x.addr(i), 8);
+        if !same {
+            ctx.load(core, ips.dot_y, y.addr(i), 8);
+        }
+        sum += x.get(i) * y.get(i);
+        ctx.compute(core, ips.dot_loop, 3, 1);
+    }
+    ctx.exit(core, regions::DOT);
+    sum
+}
+
+/// w = alpha·x + beta·y (`ComputeWAXPBY_ref`). `w` may alias `x` or
+/// `y` numerically; simulated accesses follow the actual addresses.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_waxpby(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    ips: &KernelIps,
+    alpha: f64,
+    x: &SimVector,
+    beta: f64,
+    y: &SimVector,
+    w: &mut SimVector,
+) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), w.len());
+    ctx.enter(core, regions::WAXPBY);
+    ctx.set_overlap(core, STREAM_OVERLAP);
+    for i in 0..x.len() {
+        ctx.load(core, ips.waxpby_x, x.addr(i), 8);
+        ctx.load(core, ips.waxpby_y, y.addr(i), 8);
+        w.set(i, alpha * x.get(i) + beta * y.get(i));
+        ctx.store(core, ips.waxpby_store, w.addr(i), 8);
+        ctx.compute(core, ips.waxpby_loop, 4, 1);
+    }
+    ctx.exit(core, regions::WAXPBY);
+}
+
+/// rc = (rf − Axf) restricted by injection (`ComputeRestriction_ref`).
+#[allow(clippy::too_many_arguments)]
+pub fn compute_restriction(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    ips: &KernelIps,
+    f2c: &[u32],
+    f2c_base: u64,
+    rf: &SimVector,
+    axf: &SimVector,
+    rc: &mut SimVector,
+) {
+    assert_eq!(f2c.len(), rc.len());
+    ctx.enter(core, regions::RESTRICTION);
+    ctx.set_overlap(core, STREAM_OVERLAP);
+    for (ci, &fi) in f2c.iter().enumerate() {
+        ctx.load(core, ips.restr_f2c, f2c_base + (ci * 4) as u64, 4);
+        let fi = fi as usize;
+        ctx.load(core, ips.restr_rf, rf.addr(fi), 8);
+        ctx.load(core, ips.restr_axf, axf.addr(fi), 8);
+        rc.set(ci, rf.get(fi) - axf.get(fi));
+        ctx.store(core, ips.restr_store, rc.addr(ci), 8);
+        ctx.compute(core, ips.restr_loop, 4, 1);
+    }
+    ctx.exit(core, regions::RESTRICTION);
+}
+
+/// xf += xc prolonged by injection (`ComputeProlongation_ref`).
+pub fn compute_prolongation(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    ips: &KernelIps,
+    f2c: &[u32],
+    f2c_base: u64,
+    xc: &SimVector,
+    xf: &mut SimVector,
+) {
+    assert_eq!(f2c.len(), xc.len());
+    ctx.enter(core, regions::PROLONGATION);
+    ctx.set_overlap(core, STREAM_OVERLAP);
+    for (ci, &fi) in f2c.iter().enumerate() {
+        ctx.load(core, ips.prolong_f2c, f2c_base + (ci * 4) as u64, 4);
+        let fi = fi as usize;
+        ctx.load(core, ips.prolong_xc, xc.addr(ci), 8);
+        ctx.load(core, ips.prolong_xf, xf.addr(fi), 8);
+        xf.set(fi, xf.get(fi) + xc.get(ci));
+        ctx.store(core, ips.prolong_store, xf.addr(fi), 8);
+        ctx.compute(core, ips.prolong_loop, 4, 1);
+    }
+    ctx.exit(core, regions::PROLONGATION);
+}
+
+/// x = 0 with simulated stores (HPCG's `ZeroVector`, called inside
+/// `ComputeMG_ref`).
+pub fn zero_vector(ctx: &mut dyn AppContext, core: usize, ips: &KernelIps, x: &mut SimVector) {
+    ctx.set_overlap(core, STREAM_OVERLAP);
+    for i in 0..x.len() {
+        x.set(i, 0.0);
+        ctx.store(core, ips.zero_store, x.addr(i), 8);
+        ctx.compute(core, ips.zero_loop, 2, 1);
+    }
+}

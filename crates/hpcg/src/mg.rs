@@ -1,0 +1,58 @@
+//! `ComputeMG_ref` — the multigrid V-cycle preconditioner.
+//!
+//! On each level: one pre-smoothing SYMGS step, the fine residual via
+//! SpMV, restriction by injection, the recursive coarse solve, the
+//! prolongation, and one post-smoothing SYMGS step; the coarsest level
+//! applies a single SYMGS. This is exactly the call sequence behind
+//! the paper's per-iteration phase labels: within the top-level MG
+//! call the figure shows A (pre-smooth SYMGS), B (SpMV), C (the
+//! recursive coarse work), D (post-smooth SYMGS).
+
+use crate::kernels::{
+    compute_prolongation, compute_restriction, compute_spmv, compute_symgs, zero_vector, KernelIps,
+};
+use crate::regions;
+use crate::structures::{MgLevel, SimVector};
+use mempersp_extrae::AppContext;
+
+/// Apply the V-cycle on `levels` (finest first): solve `A z ≈ r`.
+pub fn compute_mg(
+    ctx: &mut dyn AppContext,
+    core: usize,
+    ips: &KernelIps,
+    levels: &mut [MgLevel],
+    r: &SimVector,
+    z: &mut SimVector,
+) {
+    assert!(!levels.is_empty(), "MG needs at least one level");
+    ctx.enter(core, regions::MG);
+    zero_vector(ctx, core, ips, z);
+    if levels.len() == 1 {
+        // Coarsest level: a single smoother application.
+        let lvl = &levels[0];
+        compute_symgs(ctx, core, ips, &lvl.a, r, z);
+    } else {
+        // Pre-smooth (figure label A / D on the finest level).
+        compute_symgs(ctx, core, ips, &levels[0].a, r, z);
+        // Fine residual via SpMV (figure label B).
+        {
+            let (fine, _) = levels.split_first_mut().expect("non-empty");
+            let MgLevel { a, axf, .. } = fine;
+            compute_spmv(ctx, core, ips, a, z, axf);
+        }
+        // Restrict, recurse (figure label C), prolong.
+        {
+            let (fine, coarser) = levels.split_first_mut().expect("non-empty");
+            let mut rc = fine.rc.take().expect("non-coarsest level has rc");
+            let mut xc = fine.xc.take().expect("non-coarsest level has xc");
+            compute_restriction(ctx, core, ips, &fine.f2c, fine.f2c_base, r, &fine.axf, &mut rc);
+            compute_mg(ctx, core, ips, coarser, &rc, &mut xc);
+            compute_prolongation(ctx, core, ips, &fine.f2c, fine.f2c_base, &xc, z);
+            fine.rc = Some(rc);
+            fine.xc = Some(xc);
+        }
+        // Post-smooth (figure label D).
+        compute_symgs(ctx, core, ips, &levels[0].a, r, z);
+    }
+    ctx.exit(core, regions::MG);
+}

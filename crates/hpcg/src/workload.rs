@@ -1,0 +1,108 @@
+//! The complete HPCG workload: one simulated MPI rank per core, each
+//! generating its own local problem (as HPCG's `nx,ny,nz` are local
+//! dimensions) and running the preconditioned CG solve.
+
+use crate::cg::{cg_solve, CgResult};
+use crate::generate::{generate_problem, GenerateOptions};
+use crate::geometry::Geometry;
+use crate::kernels::KernelIps;
+use crate::regions;
+use mempersp_extrae::{AppContext, Workload};
+
+/// HPCG configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpcgConfig {
+    /// Local grid dimension (`nx = ny = nz`; the paper uses 104).
+    pub nx: usize,
+    /// CG iterations to run (HPCG runs 50 per set).
+    pub max_iters: usize,
+    /// Multigrid depth (HPCG uses 4; needs `nx` divisible by 2^(levels-1)
+    /// with the coarsest at least 2).
+    pub mg_levels: usize,
+    /// Apply the authors' allocation grouping during generation.
+    pub group_allocations: bool,
+    /// Use the MG preconditioner (false = single SYMGS, an ablation).
+    pub use_mg: bool,
+}
+
+impl HpcgConfig {
+    /// A test-sized problem that exercises all code paths in well
+    /// under a second.
+    pub fn tiny() -> Self {
+        Self { nx: 8, max_iters: 3, mg_levels: 3, group_allocations: true, use_mg: true }
+    }
+
+    /// The default analysis size used by the figure-regeneration
+    /// harness (scaled from the paper's 104 to keep simulation time
+    /// reasonable; shape-preserving).
+    pub fn analysis() -> Self {
+        Self { nx: 32, max_iters: 10, mg_levels: 4, group_allocations: true, use_mg: true }
+    }
+}
+
+impl Default for HpcgConfig {
+    fn default() -> Self {
+        Self::analysis()
+    }
+}
+
+/// The runnable benchmark.
+#[derive(Debug, Clone)]
+pub struct HpcgWorkload {
+    pub config: HpcgConfig,
+    /// Per-rank solve results, populated by `run`.
+    pub results: Vec<CgResult>,
+}
+
+impl HpcgWorkload {
+    pub fn new(config: HpcgConfig) -> Self {
+        Self { config, results: Vec::new() }
+    }
+}
+
+impl Workload for HpcgWorkload {
+    fn name(&self) -> String {
+        format!(
+            "HPCG nx=ny=nz={} iters={} mg={} grouping={}",
+            self.config.nx, self.config.max_iters, self.config.mg_levels, self.config.group_allocations
+        )
+    }
+
+    fn run(&mut self, ctx: &mut dyn AppContext) {
+        let cores = ctx.core_count();
+        let geom = Geometry::cube(self.config.nx);
+        let ips = KernelIps::register(ctx);
+
+        // Setup phase: every rank generates its local problem.
+        let mut problems = Vec::with_capacity(cores);
+        for core in 0..cores {
+            let opts = GenerateOptions {
+                group_allocations: self.config.group_allocations,
+                mg_levels: self.config.mg_levels,
+                group_suffix: if core == 0 { String::new() } else { format!("#rank{core}") },
+            };
+            problems.push(generate_problem(ctx, core, geom, &opts));
+        }
+        ctx.barrier();
+
+        // Execution phase: the part the paper analyses.
+        for core in 0..cores {
+            ctx.enter(core, regions::EXECUTION);
+        }
+        self.results.clear();
+        for (core, prob) in problems.iter_mut().enumerate() {
+            self.results.push(cg_solve(
+                ctx,
+                core,
+                &ips,
+                prob,
+                self.config.max_iters,
+                self.config.use_mg,
+            ));
+        }
+        for core in 0..cores {
+            ctx.exit(core, regions::EXECUTION);
+        }
+        ctx.barrier();
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the HPCG solver and problem generator.
+
+use mempersp_extrae::NullContext;
+use mempersp_hpcg::cg::cg_solve;
+use mempersp_hpcg::generate::{generate_problem, GenerateOptions};
+use mempersp_hpcg::kernels::KernelIps;
+use mempersp_hpcg::Geometry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CG monotonically reduces the residual on the SPD 27-point
+    /// operator for any small geometry (and MG never diverges).
+    #[test]
+    fn residual_decreases_for_any_geometry(
+        nx in 2usize..7,
+        ny in 2usize..7,
+        nz in 2usize..7,
+        iters in 1usize..4,
+    ) {
+        let mut ctx = NullContext::new(1);
+        let geom = Geometry::new(nx * 2, ny * 2, nz * 2);
+        let opts = GenerateOptions { mg_levels: 2, ..Default::default() };
+        let mut prob = generate_problem(&mut ctx, 0, geom, &opts);
+        let ips = KernelIps::register(&mut ctx);
+        let result = cg_solve(&mut ctx, 0, &ips, &mut prob, iters, true);
+        prop_assert_eq!(result.residuals.len(), iters + 1);
+        for w in result.residuals.windows(2) {
+            prop_assert!(w[1] < w[0], "residuals must decrease: {:?}", result.residuals);
+        }
+        prop_assert!(result.residuals.iter().all(|r| r.is_finite()));
+        // Instrumentation balanced.
+        let _ = ctx.finish("prop");
+    }
+
+    /// The stencil's row structure: every row has 8–27 nonzeros, the
+    /// diagonal is 26, off-diagonals are −1, and the matrix is
+    /// symmetric.
+    #[test]
+    fn operator_structure(nx in 2usize..6, ny in 2usize..6, nz in 2usize..6) {
+        let mut ctx = NullContext::new(1);
+        let geom = Geometry::new(nx, ny, nz);
+        let opts = GenerateOptions { mg_levels: 1, ..Default::default() };
+        let prob = generate_problem(&mut ctx, 0, geom, &opts);
+        let a = &prob.levels[0].a;
+        let mut entries = std::collections::HashMap::new();
+        for i in 0..a.nrows() {
+            let nnz = a.row_nnz(i);
+            prop_assert!((8..=27).contains(&nnz), "row {i} has {nnz} nonzeros");
+            prop_assert_eq!(a.diag(i), 26.0);
+            for (k, (&c, &v)) in a.row_cols(i).iter().zip(a.row_values(i)).enumerate() {
+                if c as usize == i {
+                    prop_assert_eq!(v, 26.0);
+                } else {
+                    prop_assert_eq!(v, -1.0);
+                }
+                let _ = k;
+                entries.insert((i, c as usize), v);
+            }
+        }
+        for (&(i, j), &v) in &entries {
+            prop_assert_eq!(entries.get(&(j, i)), Some(&v), "A[{}][{}] symmetric", i, j);
+        }
+        let _ = ctx.finish("prop");
+    }
+
+    /// The group ranges never overlap and cover every row allocation.
+    #[test]
+    fn groups_disjoint_and_ordered(n in 2usize..6) {
+        let mut ctx = NullContext::new(1);
+        let geom = Geometry::new(2 * n, 2 * n, 2 * n);
+        let opts = GenerateOptions { mg_levels: 1, ..Default::default() };
+        let _ = generate_problem(&mut ctx, 0, geom, &opts);
+        let trace = ctx.finish("prop");
+        let groups: Vec<_> = trace
+            .objects
+            .all()
+            .iter()
+            .filter(|o| o.kind == mempersp_extrae::ObjectKind::Group)
+            .collect();
+        prop_assert_eq!(groups.len(), 2);
+        let (m, p) = (groups[0], groups[1]);
+        prop_assert!(m.end() <= p.base || p.end() <= m.base, "groups disjoint");
+    }
+}

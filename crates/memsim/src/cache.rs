@@ -1,0 +1,379 @@
+//! A single set-associative, write-back cache level.
+//!
+//! The cache stores only metadata (tags + flags), never data — the
+//! simulated workloads compute on real Rust values and only the access
+//! *stream* flows through the hierarchy.
+
+use crate::config::CacheConfig;
+use crate::replacement::SetState;
+use crate::stats::CacheStats;
+use crate::Addr;
+
+/// Metadata of one resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
+    pub tag: u64,
+    pub dirty: bool,
+    /// Set when the line was installed by a prefetch and not yet
+    /// demanded; cleared on the first demand hit.
+    pub prefetched: bool,
+}
+
+/// Result of a lookup-and-fill operation on one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The line was resident.
+    Hit {
+        /// It had been brought in by a prefetch and this is the first
+        /// demand touch.
+        first_demand_after_prefetch: bool,
+    },
+    /// The line was not resident.
+    Miss,
+}
+
+/// An evicted line that the caller must handle (write back if dirty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line-aligned address of the evicted line.
+    pub addr: Addr,
+    pub dirty: bool,
+}
+
+/// One cache level.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<CacheSet>,
+    set_shift: u32,
+    set_mask: u64,
+    stats: CacheStats,
+    /// Monotonic touch clock for LRU.
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct CacheSet {
+    ways: Vec<Option<LineMeta>>,
+    repl: SetState,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate("cache");
+        let num_sets = cfg.num_sets();
+        let sets = (0..num_sets)
+            .map(|i| CacheSet {
+                ways: vec![None; cfg.associativity as usize],
+                // Mix the set index into the random-policy seed so sets
+                // decorrelate.
+                repl: SetState::new(cfg.replacement, cfg.associativity, 0x9E3779B97F4A7C15 ^ i),
+            })
+            .collect();
+        Self {
+            set_shift: cfg.line_size.trailing_zeros(),
+            set_mask: num_sets - 1,
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+            clock: 0,
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_index(&self, line_addr: Addr) -> usize {
+        (((line_addr) >> self.set_shift) & self.set_mask) as usize
+    }
+
+    fn tag(&self, line_addr: Addr) -> u64 {
+        line_addr >> self.set_shift >> self.set_mask.count_ones()
+    }
+
+    fn line_addr_from(&self, set: usize, tag: u64) -> Addr {
+        ((tag << self.set_mask.count_ones()) | set as u64) << self.set_shift
+    }
+
+    /// Is the line containing `line_addr` resident? Does not update
+    /// replacement state or counters.
+    pub fn probe(&self, line_addr: Addr) -> bool {
+        let set = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        self.sets[set]
+            .ways
+            .iter()
+            .any(|w| matches!(w, Some(m) if m.tag == tag))
+    }
+
+    /// Demand access to the line containing `line_addr`. `is_store`
+    /// marks the line dirty on hit. Counters and replacement state are
+    /// updated; on a miss the line is *not* installed (call
+    /// [`Cache::fill`] after fetching from the next level).
+    pub fn access(&mut self, line_addr: Addr, is_store: bool) -> LookupOutcome {
+        self.clock += 1;
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        for (w, slot) in set.ways.iter_mut().enumerate() {
+            if let Some(meta) = slot {
+                if meta.tag == tag {
+                    let first = meta.prefetched;
+                    meta.prefetched = false;
+                    if is_store {
+                        meta.dirty = true;
+                    }
+                    set.repl.touch(w as u32, clock);
+                    self.stats.hits += 1;
+                    if first {
+                        self.stats.prefetch_hits += 1;
+                    }
+                    return LookupOutcome::Hit { first_demand_after_prefetch: first };
+                }
+            }
+        }
+        self.stats.misses += 1;
+        LookupOutcome::Miss
+    }
+
+    /// Install the line containing `line_addr`. Returns the line that
+    /// had to be evicted, if any. `dirty` marks the new line dirty at
+    /// install time (write-allocate store miss); `prefetched` flags a
+    /// prefetch fill.
+    pub fn fill(&mut self, line_addr: Addr, dirty: bool, prefetched: bool) -> Option<Evicted> {
+        self.clock += 1;
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        let clock = self.clock;
+        let assoc = self.cfg.associativity;
+
+        self.stats.fills += 1;
+        if prefetched {
+            self.stats.prefetch_fills += 1;
+        }
+
+        let set = &mut self.sets[set_idx];
+        // Already resident (e.g. a racing prefetch): just update flags.
+        for (w, slot) in set.ways.iter_mut().enumerate() {
+            if let Some(meta) = slot {
+                if meta.tag == tag {
+                    meta.dirty |= dirty;
+                    set.repl.touch(w as u32, clock);
+                    return None;
+                }
+            }
+        }
+        // Free way?
+        for (w, slot) in set.ways.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(LineMeta { tag, dirty, prefetched });
+                set.repl.touch(w as u32, clock);
+                return None;
+            }
+        }
+        // Evict.
+        let victim = set.repl.victim(assoc) as usize;
+        let old = set.ways[victim].expect("victim way must be occupied");
+        set.ways[victim] = Some(LineMeta { tag, dirty, prefetched });
+        set.repl.touch(victim as u32, clock);
+        self.stats.evictions += 1;
+        if old.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(Evicted { addr: self.line_addr_from(set_idx, old.tag), dirty: old.dirty })
+    }
+
+    /// Remove the line containing `line_addr` if resident, returning
+    /// its metadata (used for inclusive-L3 back-invalidations).
+    pub fn invalidate(&mut self, line_addr: Addr) -> Option<LineMeta> {
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        let set = &mut self.sets[set_idx];
+        for slot in set.ways.iter_mut() {
+            if let Some(meta) = slot {
+                if meta.tag == tag {
+                    let m = *meta;
+                    *slot = None;
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Mark the line dirty if resident (used when a writeback from an
+    /// upper level lands on a resident line).
+    pub fn mark_dirty(&mut self, line_addr: Addr) -> bool {
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        for slot in self.sets[set_idx].ways.iter_mut().flatten() {
+            if slot.tag == tag {
+                slot.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of resident lines (test/diagnostic helper; O(size)).
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().filter(|w| w.is_some()).count())
+            .sum()
+    }
+
+    /// Drop all lines and reset replacement state, keeping counters.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for w in &mut set.ways {
+                *w = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WriteMissPolicy;
+    use crate::replacement::ReplacementPolicy;
+
+    fn tiny(assoc: u32, sets: u64) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 64 * assoc as u64 * sets,
+            associativity: assoc,
+            line_size: 64,
+            hit_latency: 1,
+            replacement: ReplacementPolicy::Lru,
+            write_miss: WriteMissPolicy::WriteAllocate,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(2, 4);
+        assert_eq!(c.access(0x0, false), LookupOutcome::Miss);
+        assert!(c.fill(0x0, false, false).is_none());
+        assert!(matches!(c.access(0x0, false), LookupOutcome::Hit { .. }));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_set_conflict_evicts_lru() {
+        let mut c = tiny(2, 4);
+        // Three lines mapping to set 0 (stride = sets * line = 256).
+        c.access(0x000, false);
+        c.fill(0x000, false, false);
+        c.access(0x100, false);
+        c.fill(0x100, false, false);
+        // Touch 0x000 so 0x100 becomes LRU.
+        c.access(0x000, false);
+        c.access(0x200, false);
+        let ev = c.fill(0x200, false, false).expect("must evict");
+        assert_eq!(ev.addr, 0x100);
+        assert!(!ev.dirty);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny(1, 1);
+        c.access(0x0, true);
+        c.fill(0x0, true, false);
+        c.access(0x40, false);
+        let ev = c.fill(0x40, false, false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(ev.addr, 0x0);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = tiny(1, 1);
+        c.access(0x0, false);
+        c.fill(0x0, false, false);
+        c.access(0x0, true); // store hit
+        c.access(0x40, false);
+        let ev = c.fill(0x40, false, false).unwrap();
+        assert!(ev.dirty, "store hit must dirty the line");
+    }
+
+    #[test]
+    fn prefetch_hit_accounting() {
+        let mut c = tiny(2, 2);
+        c.fill(0x0, false, true); // prefetch fill
+        let out = c.access(0x0, false);
+        assert_eq!(out, LookupOutcome::Hit { first_demand_after_prefetch: true });
+        assert_eq!(c.stats().prefetch_hits, 1);
+        // Second demand touch is a plain hit.
+        let out = c.access(0x0, false);
+        assert_eq!(out, LookupOutcome::Hit { first_demand_after_prefetch: false });
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny(2, 2);
+        c.fill(0x0, true, false);
+        let m = c.invalidate(0x0).unwrap();
+        assert!(m.dirty);
+        assert_eq!(c.access(0x0, false), LookupOutcome::Miss);
+        assert!(c.invalidate(0x0).is_none());
+    }
+
+    #[test]
+    fn probe_does_not_change_state() {
+        let mut c = tiny(2, 2);
+        c.fill(0x0, false, false);
+        let before = c.stats();
+        assert!(c.probe(0x0));
+        assert!(!c.probe(0x40));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn fill_on_resident_line_is_idempotent() {
+        let mut c = tiny(2, 2);
+        c.fill(0x0, false, false);
+        assert!(c.fill(0x0, true, false).is_none());
+        assert_eq!(c.resident_lines(), 1);
+        // Dirty flag merged.
+        c.access(0x80, false);
+        c.fill(0x80, false, false);
+        c.access(0x100, false);
+        // set 0 now has 0x0(dirty), 0x100 incoming: evict candidates
+        // exist; we only check that no panic occurs and counts are sane.
+        c.fill(0x100, false, false);
+        assert!(c.resident_lines() <= 4);
+    }
+
+    #[test]
+    fn line_addr_round_trip() {
+        let c = tiny(4, 8);
+        for &a in &[0x0u64, 0x40, 0x1000, 0xdead_bee0 & !63, 0x7fff_ffff_ffc0] {
+            let set = c.set_index(a);
+            let tag = c.tag(a);
+            assert_eq!(c.line_addr_from(set, tag), a & !63);
+        }
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny(2, 2);
+        c.fill(0x0, false, false);
+        c.fill(0x40, false, false);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+}

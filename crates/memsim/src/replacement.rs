@@ -1,0 +1,212 @@
+//! Replacement policies for set-associative caches.
+//!
+//! The policy object is per-*set* state plus the victim-selection and
+//! touch-update logic. Four policies are provided:
+//!
+//! * [`ReplacementPolicy::Lru`] — true least-recently-used, tracked with
+//!   a per-line timestamp;
+//! * [`ReplacementPolicy::TreePlru`] — the tree pseudo-LRU used by real
+//!   L1/L2 caches (one bit per internal node of a binary tree over the
+//!   ways);
+//! * [`ReplacementPolicy::Fifo`] — round-robin over ways;
+//! * [`ReplacementPolicy::Random`] — seeded xorshift-based choice,
+//!   deterministic across runs with the same seed.
+
+use serde::{Deserialize, Serialize};
+
+/// Which replacement policy a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    Lru,
+    TreePlru,
+    Fifo,
+    Random,
+}
+
+/// Per-set replacement state. One of these per cache set.
+#[derive(Debug, Clone)]
+pub enum SetState {
+    /// Timestamp of the last touch of each way.
+    Lru { last_touch: Vec<u64> },
+    /// One bit per internal node of a complete binary tree whose leaves
+    /// are the ways; `ways` is rounded up to a power of two internally.
+    TreePlru { bits: Vec<bool>, ways: u32 },
+    /// Next way to replace.
+    Fifo { next: u32 },
+    /// xorshift64* state.
+    Random { state: u64 },
+}
+
+impl SetState {
+    /// Create fresh state for a set with `ways` ways. `seed` is only
+    /// used by the random policy and must differ per set for decent
+    /// behaviour (the cache passes `set_index`-derived seeds).
+    pub fn new(policy: ReplacementPolicy, ways: u32, seed: u64) -> Self {
+        match policy {
+            ReplacementPolicy::Lru => SetState::Lru { last_touch: vec![0; ways as usize] },
+            ReplacementPolicy::TreePlru => {
+                let leaves = ways.next_power_of_two().max(2);
+                SetState::TreePlru { bits: vec![false; (leaves - 1) as usize], ways }
+            }
+            ReplacementPolicy::Fifo => SetState::Fifo { next: 0 },
+            ReplacementPolicy::Random => SetState::Random { state: seed | 1 },
+        }
+    }
+
+    /// Record that `way` was accessed at logical time `now`.
+    pub fn touch(&mut self, way: u32, now: u64) {
+        match self {
+            SetState::Lru { last_touch } => last_touch[way as usize] = now,
+            SetState::TreePlru { bits, ways } => {
+                // Walk from the root to the leaf `way`, flipping each
+                // node to point *away* from the taken path.
+                let leaves = ways.next_power_of_two().max(2);
+                let mut node = 0usize; // root
+                let mut lo = 0u32;
+                let mut hi = leaves; // exclusive
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_right = way >= mid;
+                    bits[node] = !go_right; // point to the other half
+                    node = 2 * node + if go_right { 2 } else { 1 };
+                    if go_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            SetState::Fifo { .. } => {}
+            SetState::Random { .. } => {}
+        }
+    }
+
+    /// Choose a victim way among `ways` ways (all full). Also advances
+    /// internal state where the policy requires it.
+    pub fn victim(&mut self, ways: u32) -> u32 {
+        match self {
+            SetState::Lru { last_touch } => {
+                let mut best = 0u32;
+                let mut best_t = u64::MAX;
+                for (i, &t) in last_touch.iter().enumerate().take(ways as usize) {
+                    if t < best_t {
+                        best_t = t;
+                        best = i as u32;
+                    }
+                }
+                best
+            }
+            SetState::TreePlru { bits, ways: w } => {
+                let leaves = w.next_power_of_two().max(2);
+                let mut node = 0usize;
+                let mut lo = 0u32;
+                let mut hi = leaves;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_right = bits[node];
+                    node = 2 * node + if go_right { 2 } else { 1 };
+                    if go_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                // If ways is not a power of two the PLRU walk may land
+                // on a phantom leaf; clamp to a real way.
+                lo.min(ways - 1)
+            }
+            SetState::Fifo { next } => {
+                let v = *next % ways;
+                *next = (*next + 1) % ways;
+                v
+            }
+            SetState::Random { state } => {
+                // xorshift64*
+                let mut x = *state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *state = x;
+                ((x.wrapping_mul(0x2545F4914F6CDD1D)) >> 33) as u32 % ways
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = SetState::new(ReplacementPolicy::Lru, 4, 0);
+        s.touch(0, 10);
+        s.touch(1, 20);
+        s.touch(2, 5);
+        s.touch(3, 30);
+        assert_eq!(s.victim(4), 2);
+        s.touch(2, 40);
+        assert_eq!(s.victim(4), 0);
+    }
+
+    #[test]
+    fn fifo_cycles_through_ways() {
+        let mut s = SetState::new(ReplacementPolicy::Fifo, 3, 0);
+        assert_eq!(s.victim(3), 0);
+        assert_eq!(s.victim(3), 1);
+        assert_eq!(s.victim(3), 2);
+        assert_eq!(s.victim(3), 0);
+    }
+
+    #[test]
+    fn plru_never_evicts_just_touched_way() {
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 8, 0);
+        for w in 0..8 {
+            s.touch(w, w as u64);
+            assert_ne!(s.victim(8), w, "PLRU must not victimize the MRU way");
+        }
+    }
+
+    #[test]
+    fn plru_handles_non_power_of_two_ways() {
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 20, 0);
+        for w in 0..20 {
+            s.touch(w, w as u64);
+            let v = s.victim(20);
+            assert!(v < 20);
+            assert_ne!(v, w);
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = SetState::new(ReplacementPolicy::Random, 8, 42);
+        let mut b = SetState::new(ReplacementPolicy::Random, 8, 42);
+        for _ in 0..100 {
+            assert_eq!(a.victim(8), b.victim(8));
+        }
+    }
+
+    #[test]
+    fn random_victims_in_range() {
+        let mut s = SetState::new(ReplacementPolicy::Random, 5, 7);
+        for _ in 0..1000 {
+            assert!(s.victim(5) < 5);
+        }
+    }
+
+    #[test]
+    fn plru_cycles_cover_all_ways() {
+        // Repeatedly evicting without touching must eventually visit
+        // every way (tree PLRU flips towards unvisited halves only on
+        // touch, but victim selection is stable; emulate fill pattern).
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 4, 0);
+        let mut seen = [false; 4];
+        for i in 0..16 {
+            let v = s.victim(4);
+            seen[v as usize] = true;
+            s.touch(v, i);
+        }
+        assert!(seen.iter().all(|&x| x), "all ways should be used: {seen:?}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the memory-hierarchy simulator.
+
+use mempersp_memsim::{
+    lines_of_access, AccessKind, Cache, CacheConfig, HierarchyConfig, MemorySystem,
+    ReplacementPolicy, WriteMissPolicy,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![Just(AccessKind::Load), Just(AccessKind::Store)]
+}
+
+proptest! {
+    /// Every byte of [addr, addr+size) lies in some returned line and
+    /// every returned line intersects the access.
+    #[test]
+    fn lines_cover_access_exactly(addr in 0u64..1u64 << 40, size in 1u32..512) {
+        let line = 64u32;
+        let lines: Vec<u64> = lines_of_access(addr, size, line).collect();
+        prop_assert!(!lines.is_empty());
+        // Lines are line-aligned, ascending, contiguous.
+        for w in lines.windows(2) {
+            prop_assert_eq!(w[1], w[0] + line as u64);
+        }
+        for &l in &lines {
+            prop_assert_eq!(l % line as u64, 0);
+            // Intersects [addr, addr+size).
+            prop_assert!(l < addr + size as u64 && l + line as u64 > addr);
+        }
+        // First and last bytes covered.
+        prop_assert_eq!(lines[0], addr & !(line as u64 - 1));
+        prop_assert_eq!(*lines.last().unwrap(), (addr + size as u64 - 1) & !(line as u64 - 1));
+    }
+
+    /// A cache never holds more lines than its capacity, whatever the
+    /// policy and access mix.
+    #[test]
+    fn cache_capacity_invariant(
+        ops in prop::collection::vec((0u64..1 << 16, any::<bool>()), 1..500),
+        policy in prop_oneof![
+            Just(ReplacementPolicy::Lru),
+            Just(ReplacementPolicy::TreePlru),
+            Just(ReplacementPolicy::Fifo),
+            Just(ReplacementPolicy::Random),
+        ],
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 2048,
+            associativity: 4,
+            line_size: 64,
+            hit_latency: 1,
+            replacement: policy,
+            write_miss: WriteMissPolicy::WriteAllocate,
+        };
+        let capacity_lines = (cfg.size_bytes / cfg.line_size as u64) as usize;
+        let mut c = Cache::new(cfg);
+        for (addr, store) in ops {
+            let line = addr & !63;
+            if matches!(c.access(line, store), mempersp_memsim::cache::LookupOutcome::Miss) {
+                c.fill(line, store, false);
+            }
+            prop_assert!(c.resident_lines() <= capacity_lines);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses());
+    }
+
+    /// After any access, immediately re-accessing the same address is
+    /// an L1 hit (the line was just installed), and its latency equals
+    /// the L1 hit latency.
+    #[test]
+    fn reaccess_is_l1_hit(addr in 0u64..1 << 30, kind in arb_kind()) {
+        let mut m = MemorySystem::new(HierarchyConfig::small_test(), 1);
+        m.access(0, kind, addr, 8, 0);
+        let r = m.access(0, AccessKind::Load, addr, 8, 100);
+        prop_assert_eq!(r.source, mempersp_memsim::MemLevel::L1);
+        prop_assert_eq!(r.latency, m.config().l1d.hit_latency);
+    }
+
+    /// Serving-level counters always sum to the number of accesses, and
+    /// latency is at least the L1 hit latency per access.
+    #[test]
+    fn stats_accounting_consistent(
+        ops in prop::collection::vec((0u64..1 << 20, arb_kind()), 1..300),
+    ) {
+        let mut m = MemorySystem::new(HierarchyConfig::small_test(), 2);
+        for (i, (addr, kind)) in ops.iter().enumerate() {
+            m.access(i % 2, *kind, *addr, 8, i as u64 * 7);
+        }
+        let s = m.stats();
+        for c in &s.cores {
+            prop_assert_eq!(
+                c.served_l1 + c.served_l2 + c.served_l3 + c.served_dram,
+                c.loads + c.stores
+            );
+            prop_assert!(c.total_latency >= (c.loads + c.stores) * 4);
+            // Page-straddling accesses translate twice, so TLB events
+            // are at least one per access but may exceed it.
+            prop_assert!(c.tlb_hits + c.tlb_misses >= c.loads + c.stores);
+        }
+        let total = s.total_cores();
+        prop_assert_eq!(total.accesses() as usize, ops.len());
+    }
+
+    /// Determinism: the same access sequence produces identical stats.
+    #[test]
+    fn deterministic_replay(
+        ops in prop::collection::vec((0u64..1 << 22, arb_kind(), 1u32..16), 1..200),
+    ) {
+        let run = || {
+            let mut m = MemorySystem::new(HierarchyConfig::small_test(), 1);
+            let mut latencies = Vec::new();
+            for (i, (addr, kind, size)) in ops.iter().enumerate() {
+                latencies.push(m.access(0, *kind, *addr, *size, i as u64 * 3).latency);
+            }
+            (latencies, m.stats())
+        };
+        let (la, sa) = run();
+        let (lb, sb) = run();
+        prop_assert_eq!(la, lb);
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// Coherence invariant: immediately after a store by core A, no
+    /// other core's private caches hold the line (single-writer), and
+    /// after any access the issuing core holds it (write-allocate).
+    #[test]
+    fn single_writer_invariant(
+        ops in prop::collection::vec((0usize..3, any::<bool>(), 0u64..16), 1..400),
+    ) {
+        let mut m = MemorySystem::new(HierarchyConfig::small_test(), 3);
+        for (i, &(core, is_store, slot)) in ops.iter().enumerate() {
+            let addr = slot * 64;
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            m.access(core, kind, addr, 8, i as u64 * 3);
+            prop_assert!(m.core_holds_line(core, addr), "issuer holds the line");
+            if is_store {
+                for other in 0..3 {
+                    if other != core {
+                        prop_assert!(
+                            !m.core_holds_line(other, addr),
+                            "op {i}: core {other} still holds line stored by {core}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Monotone hierarchy: a deeper data source never has a smaller
+    /// latency than a shallower one within the same access stream.
+    #[test]
+    fn deeper_source_costs_more(
+        ops in prop::collection::vec(0u64..1 << 18, 1..300),
+    ) {
+        use mempersp_memsim::MemLevel;
+        let mut m = MemorySystem::new(HierarchyConfig::small_test(), 1);
+        let mut max_lat = std::collections::HashMap::new();
+        let mut min_lat = std::collections::HashMap::new();
+        for (i, addr) in ops.iter().enumerate() {
+            let r = m.access(0, AccessKind::Load, *addr, 8, i as u64 * 2);
+            // Exclude TLB-miss samples: the walk penalty can invert the
+            // level ordering for nearby levels.
+            if r.tlb_miss {
+                continue;
+            }
+            let e = max_lat.entry(r.source).or_insert(0u32);
+            *e = (*e).max(r.latency);
+            let e = min_lat.entry(r.source).or_insert(u32::MAX);
+            *e = (*e).min(r.latency);
+        }
+        for (a, b) in [(MemLevel::L1, MemLevel::L2), (MemLevel::L2, MemLevel::L3)] {
+            if let (Some(ma), Some(mb)) = (max_lat.get(&a), min_lat.get(&b)) {
+                prop_assert!(ma <= mb, "{a:?} max {ma} vs {b:?} min {mb}");
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The performance-counter model.
+//!
+//! A [`Pmu`] is a set of free-running 64-bit counters, one per
+//! [`EventKind`]. The simulated core model increments them as it
+//! retires instructions; Extrae reads them at instrumentation events
+//! and sampling ticks and emits the values into the trace, exactly as
+//! the real tool programs `perf_event`/PAPI counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware events the model counts.
+///
+/// The set mirrors what the paper's Fig. 1 bottom panel plots
+/// (branches, L1D/L2/L3 misses, and the instructions + cycles needed
+/// for MIPS/IPC) plus the memory events PEBS samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Retired instructions (`INST_RETIRED.ANY`).
+    Instructions,
+    /// Core clock cycles (`CPU_CLK_UNHALTED.THREAD`).
+    Cycles,
+    /// Retired branch instructions (`BR_INST_RETIRED.ALL_BRANCHES`).
+    Branches,
+    /// L1D demand misses (`L1D.REPLACEMENT`).
+    L1dMiss,
+    /// L2 demand misses (`L2_RQSTS.MISS`).
+    L2Miss,
+    /// L3 (LLC) misses (`LONGEST_LAT_CACHE.MISS`).
+    L3Miss,
+    /// Retired load uops (`MEM_UOPS_RETIRED.ALL_LOADS`).
+    Loads,
+    /// Retired store uops (`MEM_UOPS_RETIRED.ALL_STORES`).
+    Stores,
+    /// DTLB walk completions.
+    TlbMiss,
+    /// Stall cycles of accesses served by the L2 (model-internal
+    /// counter backing the CPI-stack analysis; real tools approximate
+    /// these from miss counts × latencies).
+    StallL2,
+    /// Stall cycles of accesses served by the L3.
+    StallL3,
+    /// Stall cycles of accesses served by DRAM.
+    StallDram,
+}
+
+impl EventKind {
+    /// All modelled events, in a stable order.
+    pub const ALL: [EventKind; 12] = [
+        EventKind::Instructions,
+        EventKind::Cycles,
+        EventKind::Branches,
+        EventKind::L1dMiss,
+        EventKind::L2Miss,
+        EventKind::L3Miss,
+        EventKind::Loads,
+        EventKind::Stores,
+        EventKind::TlbMiss,
+        EventKind::StallL2,
+        EventKind::StallL3,
+        EventKind::StallDram,
+    ];
+
+    /// Stable dense index of this event (for array-backed storage).
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::Instructions => 0,
+            EventKind::Cycles => 1,
+            EventKind::Branches => 2,
+            EventKind::L1dMiss => 3,
+            EventKind::L2Miss => 4,
+            EventKind::L3Miss => 5,
+            EventKind::Loads => 6,
+            EventKind::Stores => 7,
+            EventKind::TlbMiss => 8,
+            EventKind::StallL2 => 9,
+            EventKind::StallL3 => 10,
+            EventKind::StallDram => 11,
+        }
+    }
+
+    /// Human-readable name matching the paper's figure legend where
+    /// applicable.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Instructions => "Instructions",
+            EventKind::Cycles => "Cycles",
+            EventKind::Branches => "Branches",
+            EventKind::L1dMiss => "L1D miss",
+            EventKind::L2Miss => "L2 miss",
+            EventKind::L3Miss => "L3 miss",
+            EventKind::Loads => "Loads",
+            EventKind::Stores => "Stores",
+            EventKind::TlbMiss => "DTLB miss",
+            EventKind::StallL2 => "L2 stall cycles",
+            EventKind::StallL3 => "L3 stall cycles",
+            EventKind::StallDram => "DRAM stall cycles",
+        }
+    }
+}
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    values: [u64; EventKind::ALL.len()],
+}
+
+impl CounterSnapshot {
+    /// Value of one event.
+    pub fn get(&self, e: EventKind) -> u64 {
+        self.values[e.index()]
+    }
+
+    /// Build a snapshot from raw values in [`EventKind::ALL`] order
+    /// (used by trace parsers).
+    pub fn from_values(values: [u64; EventKind::ALL.len()]) -> Self {
+        Self { values }
+    }
+
+    /// The raw values in [`EventKind::ALL`] order.
+    pub fn values(&self) -> &[u64; EventKind::ALL.len()] {
+        &self.values
+    }
+
+    /// Component-wise `self - earlier`; panics on counter regression
+    /// (counters are monotone by construction).
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = CounterSnapshot::default();
+        for e in EventKind::ALL {
+            let i = e.index();
+            assert!(
+                self.values[i] >= earlier.values[i],
+                "counter {e:?} went backwards: {} -> {}",
+                earlier.values[i],
+                self.values[i]
+            );
+            out.values[i] = self.values[i] - earlier.values[i];
+        }
+        out
+    }
+}
+
+/// One core's performance-monitoring unit.
+#[derive(Debug, Clone, Default)]
+pub struct Pmu {
+    snap: CounterSnapshot,
+}
+
+impl Pmu {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count `n` occurrences of `e`.
+    pub fn add(&mut self, e: EventKind, n: u64) {
+        self.snap.values[e.index()] += n;
+    }
+
+    /// Current value of one counter.
+    pub fn read(&self, e: EventKind) -> u64 {
+        self.snap.get(e)
+    }
+
+    /// Copy of all counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        self.snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read() {
+        let mut p = Pmu::new();
+        p.add(EventKind::Instructions, 100);
+        p.add(EventKind::Instructions, 23);
+        p.add(EventKind::Branches, 7);
+        assert_eq!(p.read(EventKind::Instructions), 123);
+        assert_eq!(p.read(EventKind::Branches), 7);
+        assert_eq!(p.read(EventKind::Cycles), 0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut p = Pmu::new();
+        p.add(EventKind::Cycles, 50);
+        let a = p.snapshot();
+        p.add(EventKind::Cycles, 25);
+        p.add(EventKind::L3Miss, 3);
+        let d = p.snapshot().delta(&a);
+        assert_eq!(d.get(EventKind::Cycles), 25);
+        assert_eq!(d.get(EventKind::L3Miss), 3);
+        assert_eq!(d.get(EventKind::Instructions), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn regression_detected() {
+        let mut p = Pmu::new();
+        p.add(EventKind::Cycles, 10);
+        let later = p.snapshot();
+        let earlier = {
+            let mut q = Pmu::new();
+            q.add(EventKind::Cycles, 20);
+            q.snapshot()
+        };
+        let _ = later.delta(&earlier);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; EventKind::ALL.len()];
+        for e in EventKind::ALL {
+            assert!(!seen[e.index()], "duplicate index for {e:?}");
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = EventKind::ALL.iter().map(|e| e.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), EventKind::ALL.len());
+    }
+}

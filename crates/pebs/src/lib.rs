@@ -1,0 +1,41 @@
+//! # mempersp-pebs — a software model of the PMU + PEBS
+//!
+//! The paper's monitoring tool relies on two hardware facilities of
+//! recent Intel processors, both modelled here:
+//!
+//! * **performance counters** — free-running event counts
+//!   (instructions, cycles, branches, cache misses per level, ...)
+//!   read by Extrae at instrumentation points and sampling ticks
+//!   ([`Pmu`], [`EventKind`]);
+//! * **PEBS (Precise Event-Based Sampling)** — after a configurable
+//!   number of occurrences of a *memory* event, the hardware captures
+//!   the full architectural context of the next occurrence: the
+//!   referenced virtual address, the access latency in cycles, and the
+//!   *data source* (the level of the hierarchy that served the data)
+//!   ([`PebsEngine`], [`PebsSample`]).
+//!
+//! Because a core has a limited number of PEBS-capable counters, load
+//! and store events cannot always be measured at once; the paper's
+//! Extrae extension time-multiplexes them within a single run
+//! ([`Multiplexer`]), avoiding two runs whose address spaces would
+//! differ under ASLR.
+//!
+//! ## Fidelity notes
+//!
+//! * Real PEBS arms on counter overflow and records the state of the
+//!   *next* matching instruction (one-instruction "shadow"); the model
+//!   reproduces exactly that two-phase behaviour.
+//! * Real sampling periods are often randomized to avoid lock-step with
+//!   loop bodies; [`SamplingConfig::randomization`] adds a seeded,
+//!   bounded jitter to each period.
+//! * The load-latency event (`MEM_TRANS_RETIRED.LOAD_LATENCY`) supports
+//!   a minimum-latency threshold; [`PebsEvent::LoadLatency`] carries
+//!   one.
+
+pub mod counters;
+pub mod multiplex;
+pub mod sampling;
+
+pub use counters::{CounterSnapshot, EventKind, Pmu};
+pub use multiplex::{MultiplexStats, Multiplexer};
+pub use sampling::{MemOp, PebsEngine, PebsEvent, PebsSample, SamplingConfig};

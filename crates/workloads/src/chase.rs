@@ -1,0 +1,109 @@
+//! Pointer chasing over a random cyclic permutation: the
+//! latency-bound anti-pattern (no spatial locality, no overlap).
+
+use mempersp_extrae::{AppContext, CodeLocation, Workload};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Walks a random single-cycle permutation of `n` 8-byte slots for
+/// `steps` hops.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    n: usize,
+    steps: usize,
+    seed: u64,
+    /// Final position (set by `run`); asserts the cycle was followed.
+    pub final_pos: usize,
+}
+
+impl PointerChase {
+    pub fn new(n: usize, steps: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        Self { n, steps, seed, final_pos: 0 }
+    }
+
+    /// Build the single-cycle permutation (Sattolo's algorithm).
+    fn permutation(&self) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (1..self.n).collect();
+        order.shuffle(&mut rng);
+        // Cycle 0 -> order[0] -> order[1] -> ... -> 0.
+        let mut next = vec![0usize; self.n];
+        let mut prev = 0usize;
+        for &o in &order {
+            next[prev] = o;
+            prev = o;
+        }
+        next[prev] = 0;
+        next
+    }
+}
+
+impl Workload for PointerChase {
+    fn name(&self) -> String {
+        format!("pointer chase n={} steps={}", self.n, self.steps)
+    }
+
+    fn run(&mut self, ctx: &mut dyn AppContext) {
+        let site = CodeLocation::new("chase.c", 30, "chase");
+        let ip_load = ctx.location("chase.c", 41, "chase");
+        let ip_loop = ctx.location("chase.c", 40, "chase");
+        let base = ctx.malloc(0, (self.n * 8) as u64, &site);
+        let next = self.permutation();
+
+        // Pointer chasing cannot overlap misses at all.
+        ctx.set_overlap(0, 1.0);
+        ctx.enter(0, "chase");
+        let mut pos = 0usize;
+        for _ in 0..self.steps {
+            ctx.load(0, ip_load, base + (pos * 8) as u64, 8);
+            pos = next[pos];
+            ctx.compute(0, ip_loop, 2, 1);
+        }
+        ctx.exit(0, "chase");
+        self.final_pos = pos;
+        ctx.free(0, base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::NullContext;
+
+    #[test]
+    fn permutation_is_a_single_cycle() {
+        let w = PointerChase::new(100, 1, 42);
+        let next = w.permutation();
+        let mut seen = [false; 100];
+        let mut pos = 0;
+        for _ in 0..100 {
+            assert!(!seen[pos], "revisited {pos} before completing the cycle");
+            seen[pos] = true;
+            pos = next[pos];
+        }
+        assert_eq!(pos, 0, "returns to start after exactly n hops");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_cycle_returns_to_origin() {
+        let mut ctx = NullContext::new(1);
+        let mut w = PointerChase::new(64, 64, 7);
+        w.run(&mut ctx);
+        assert_eq!(w.final_pos, 0);
+    }
+
+    #[test]
+    fn partial_walk_is_deterministic() {
+        let run = |seed| {
+            let mut ctx = NullContext::new(1);
+            let mut w = PointerChase::new(128, 77, seed);
+            w.run(&mut ctx);
+            w.final_pos
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seed, different permutation (overwhelmingly)");
+    }
+}

@@ -1,0 +1,31 @@
+//! # mempersp-workloads — instrumented example kernels
+//!
+//! Beyond HPCG (which has its own crate), these small kernels exercise
+//! the monitoring + folding tool-chain on archetypal memory
+//! behaviours:
+//!
+//! * [`StreamTriad`] — the STREAM benchmark's `a = b + s·c`: three
+//!   perfectly sequential streams, the bandwidth-bound baseline;
+//! * [`Stencil7`] — a 7-point Jacobi sweep over a 3D grid: mixed
+//!   spatial locality with three reuse distances;
+//! * [`PointerChase`] — a random permutation walk: zero spatial
+//!   locality, fully serialized (latency-bound), the anti-STREAM;
+//! * [`TiledMatmul`] — blocked dense matrix multiply: high temporal
+//!   locality, compute-bound when the tile fits in cache.
+//!
+//! Each computes real values (checksums are asserted in tests) while
+//! issuing its loads/stores through the
+//! [`mempersp_extrae::AppContext`].
+
+pub mod chase;
+pub mod matmul;
+pub mod sharing;
+pub mod stencil;
+pub mod stream;
+
+pub use chase::PointerChase;
+pub use matmul::TiledMatmul;
+pub use mempersp_extrae::{AppContext, Workload};
+pub use sharing::FalseSharing;
+pub use stencil::Stencil7;
+pub use stream::StreamTriad;

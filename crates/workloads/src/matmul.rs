@@ -1,0 +1,107 @@
+//! Tiled dense matrix multiplication: temporal-locality-rich,
+//! compute-bound when the tile fits in cache.
+
+use mempersp_extrae::{AppContext, CodeLocation, Workload};
+
+/// C = A·B over `n × n` matrices with `tile × tile` blocking.
+#[derive(Debug, Clone)]
+pub struct TiledMatmul {
+    n: usize,
+    tile: usize,
+    /// Frobenius-norm-ish checksum of C (set by `run`).
+    pub checksum: f64,
+}
+
+impl TiledMatmul {
+    pub fn new(n: usize, tile: usize) -> Self {
+        assert!(n >= 1 && tile >= 1);
+        Self { n, tile, checksum: 0.0 }
+    }
+}
+
+impl Workload for TiledMatmul {
+    fn name(&self) -> String {
+        format!("tiled matmul n={} tile={}", self.n, self.tile)
+    }
+
+    fn run(&mut self, ctx: &mut dyn AppContext) {
+        let n = self.n;
+        let t = self.tile;
+        let site = |line: u32| CodeLocation::new("matmul.c", line, "dgemm_tiled");
+        let ip_a = ctx.location("matmul.c", 61, "dgemm_tiled");
+        let ip_b = ctx.location("matmul.c", 62, "dgemm_tiled");
+        let ip_c = ctx.location("matmul.c", 63, "dgemm_tiled");
+        let ip_loop = ctx.location("matmul.c", 58, "dgemm_tiled");
+
+        let a_base = ctx.malloc(0, (n * n * 8) as u64, &site(20));
+        let b_base = ctx.malloc(0, (n * n * 8) as u64, &site(21));
+        let c_base = ctx.malloc(0, (n * n * 8) as u64, &site(22));
+        let a: Vec<f64> = (0..n * n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| ((i % 3) as f64) + 1.0).collect();
+        let mut c = vec![0.0f64; n * n];
+
+        ctx.set_overlap(0, 6.0);
+        ctx.enter(0, "dgemm_tiled");
+        for ii in (0..n).step_by(t) {
+            for kk in (0..n).step_by(t) {
+                for jj in (0..n).step_by(t) {
+                    for i in ii..(ii + t).min(n) {
+                        for k in kk..(kk + t).min(n) {
+                            ctx.load(0, ip_a, a_base + ((i * n + k) * 8) as u64, 8);
+                            let aik = a[i * n + k];
+                            for j in jj..(jj + t).min(n) {
+                                ctx.load(0, ip_b, b_base + ((k * n + j) * 8) as u64, 8);
+                                c[i * n + j] += aik * b[k * n + j];
+                                ctx.store(0, ip_c, c_base + ((i * n + j) * 8) as u64, 8);
+                                ctx.compute(0, ip_loop, 3, 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ctx.exit(0, "dgemm_tiled");
+        self.checksum = c.iter().map(|v| v.abs()).sum();
+        ctx.free(0, a_base);
+        ctx.free(0, b_base);
+        ctx.free(0, c_base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::NullContext;
+
+    fn reference_checksum(n: usize) -> f64 {
+        let a: Vec<f64> = (0..n * n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| ((i % 3) as f64) + 1.0).collect();
+        let mut c = vec![0.0f64; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    c[i * n + j] += a[i * n + k] * b[k * n + j];
+                }
+            }
+        }
+        c.iter().map(|v| v.abs()).sum()
+    }
+
+    #[test]
+    fn tiled_equals_naive() {
+        for tile in [1, 3, 4, 16] {
+            let mut ctx = NullContext::new(1);
+            let mut w = TiledMatmul::new(12, tile);
+            w.run(&mut ctx);
+            assert_eq!(w.checksum, reference_checksum(12), "tile={tile}");
+        }
+    }
+
+    #[test]
+    fn non_divisible_tile_handled() {
+        let mut ctx = NullContext::new(1);
+        let mut w = TiledMatmul::new(7, 4);
+        w.run(&mut ctx);
+        assert_eq!(w.checksum, reference_checksum(7));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the example workloads' numerics.
+
+use mempersp_extrae::{NullContext, Workload};
+use mempersp_workloads::{PointerChase, StreamTriad, TiledMatmul};
+use proptest::prelude::*;
+
+proptest! {
+    /// The triad checksum matches the closed form for any size.
+    #[test]
+    fn stream_checksum_closed_form(n in 1usize..2000, reps in 1usize..4) {
+        let mut ctx = NullContext::new(1);
+        let mut w = StreamTriad::new(n, reps);
+        w.run(&mut ctx);
+        let expect: f64 = (0..n).map(|i| i as f64 + 3.0 * (i % 7) as f64).sum();
+        prop_assert_eq!(w.checksum, expect);
+    }
+
+    /// Tiled matmul equals the naive product for arbitrary n and tile.
+    #[test]
+    fn matmul_tiling_invariant(n in 1usize..24, tile in 1usize..26) {
+        let reference = {
+            let a: Vec<f64> = (0..n * n).map(|i| ((i % 5) as f64) - 2.0).collect();
+            let b: Vec<f64> = (0..n * n).map(|i| ((i % 3) as f64) + 1.0).collect();
+            let mut c = vec![0.0f64; n * n];
+            for i in 0..n {
+                for k in 0..n {
+                    for j in 0..n {
+                        c[i * n + j] += a[i * n + k] * b[k * n + j];
+                    }
+                }
+            }
+            c.iter().map(|v| v.abs()).sum::<f64>()
+        };
+        let mut ctx = NullContext::new(1);
+        let mut w = TiledMatmul::new(n, tile);
+        w.run(&mut ctx);
+        prop_assert_eq!(w.checksum, reference);
+    }
+
+    /// Walking exactly n steps of the n-element cyclic permutation
+    /// returns to the origin; walking fewer does not.
+    #[test]
+    fn chase_cycle_property(n in 2usize..512, seed in any::<u64>()) {
+        let mut ctx = NullContext::new(1);
+        let mut w = PointerChase::new(n, n, seed);
+        w.run(&mut ctx);
+        prop_assert_eq!(w.final_pos, 0, "full cycle returns home");
+
+        if n > 2 {
+            let mut ctx = NullContext::new(1);
+            let mut w = PointerChase::new(n, n - 1, seed);
+            w.run(&mut ctx);
+            prop_assert_ne!(w.final_pos, 0, "partial walk cannot be home (single cycle)");
+        }
+    }
+
+    /// Every workload leaves the tracer balanced (finish() would panic
+    /// otherwise) and emits at least one event.
+    #[test]
+    fn workloads_are_balanced(n in 8usize..64, seed in any::<u64>()) {
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(StreamTriad::new(n, 2)),
+            Box::new(PointerChase::new(n.max(2), n, seed)),
+            Box::new(TiledMatmul::new(n.min(16), 4)),
+        ];
+        for mut w in workloads {
+            let mut ctx = NullContext::new(1);
+            w.run(&mut ctx);
+            let trace = ctx.finish(&w.name());
+            prop_assert!(trace.num_events() > 0);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's "preliminary analysis" story: with HPCG's per-row
+//! allocations below the tracker threshold, most PEBS samples resolve
+//! to no data object; manually grouping the generator's allocations
+//! (as the authors did) rescues the attribution.
+//!
+//! ```sh
+//! cargo run --release --example allocation_grouping
+//! ```
+
+use mempersp::core::workflow::analyze_hpcg;
+use mempersp::core::MachineConfig;
+use mempersp::hpcg::HpcgConfig;
+
+fn run(group: bool) -> (f64, Vec<(String, u64)>) {
+    let mcfg = MachineConfig::small();
+    let hcfg = HpcgConfig {
+        nx: 8,
+        max_iters: 3,
+        mg_levels: 3,
+        group_allocations: group,
+        use_mg: true,
+    };
+    let a = analyze_hpcg(mcfg, hcfg);
+    let tops = a
+        .objects
+        .iter()
+        .take(4)
+        .map(|o| (o.name.clone(), o.total()))
+        .collect();
+    (a.resolved_fraction, tops)
+}
+
+fn main() {
+    println!("HPCG allocates its matrix with one tiny allocation per row");
+    println!("(27 doubles = 216 B < the 1 KiB tracking threshold).\n");
+
+    let (without, tops_without) = run(false);
+    println!("WITHOUT grouping: {:.1} % of PEBS samples resolved", 100.0 * without);
+    for (name, n) in &tops_without {
+        println!("  {n:>6} samples  {name}");
+    }
+
+    let (with, tops_with) = run(true);
+    println!("\nWITH the authors' manual grouping: {:.1} % resolved", 100.0 * with);
+    for (name, n) in &tops_with {
+        println!("  {n:>6} samples  {name}");
+    }
+
+    println!(
+        "\ngrouping rescued {:.1} percentage points of attribution",
+        100.0 * (with - without)
+    );
+    assert!(with > without);
+}

@@ -1,0 +1,54 @@
+//! Characterize four archetypal memory behaviours through the full
+//! tool-chain: STREAM (bandwidth-bound), a 7-point stencil (mixed
+//! locality), pointer chasing (latency-bound) and tiled matmul
+//! (cache-friendly). Prints, per workload, the data-source mix and
+//! mean sampled latency — the per-access facts PEBS contributes.
+//!
+//! ```sh
+//! cargo run --release --example memory_characterization
+//! ```
+
+use mempersp::core::{Machine, MachineConfig};
+use mempersp::extrae::Workload;
+use mempersp::workloads::{PointerChase, Stencil7, StreamTriad, TiledMatmul};
+
+fn characterize(name: &str, w: &mut dyn Workload) {
+    let mut machine = Machine::new(MachineConfig::small());
+    let report = machine.run(w);
+    let samples: Vec<_> = report.trace.pebs_events().collect();
+    let n = samples.len().max(1) as f64;
+    let mut by_source = [0usize; 4];
+    let mut lat_sum = 0u64;
+    for (_, s, _) in &samples {
+        let idx = match s.source {
+            mempersp::memsim::MemLevel::L1 => 0,
+            mempersp::memsim::MemLevel::L2 => 1,
+            mempersp::memsim::MemLevel::L3 => 2,
+            mempersp::memsim::MemLevel::Dram => 3,
+        };
+        by_source[idx] += 1;
+        lat_sum += s.latency as u64;
+    }
+    let stats = report.stats.total_cores();
+    println!("{name:<18} samples {:>6}  mean lat {:>7.1} cyc  sources L1 {:>4.1}% L2 {:>4.1}% L3 {:>4.1}% DRAM {:>4.1}%  (IPC proxy: {:>5.0} kcycles)",
+        samples.len(),
+        lat_sum as f64 / n,
+        100.0 * by_source[0] as f64 / n,
+        100.0 * by_source[1] as f64 / n,
+        100.0 * by_source[2] as f64 / n,
+        100.0 * by_source[3] as f64 / n,
+        report.wall_cycles as f64 / 1e3,
+    );
+    let _ = stats;
+}
+
+fn main() {
+    println!("per-workload PEBS characterization (small simulated machine)\n");
+    characterize("STREAM triad", &mut StreamTriad::new(1 << 15, 4));
+    characterize("7-pt stencil", &mut Stencil7::new(24, 4));
+    characterize("pointer chase", &mut PointerChase::new(1 << 14, 1 << 15, 42));
+    characterize("tiled matmul", &mut TiledMatmul::new(48, 8));
+    println!("\nreading: the chase is latency-bound (DRAM-heavy, huge mean");
+    println!("latency); the triad streams (prefetch-friendly); the tiled");
+    println!("matmul mostly hits cache; the stencil sits in between.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: monitor a STREAM triad on the simulated machine, fold
+//! its repetitions, and print the folded report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mempersp::core::report::ascii;
+use mempersp::core::{Machine, MachineConfig};
+use mempersp::folding::{fold_region, FoldingConfig};
+use mempersp::pebs::EventKind;
+use mempersp::workloads::StreamTriad;
+
+fn main() {
+    // A machine with one core, a small cache hierarchy and PEBS
+    // sampling of loads and stores.
+    let mut machine = Machine::new(MachineConfig::small());
+
+    // Run an instrumented workload: 64 Ki elements, 20 repetitions.
+    let mut triad = StreamTriad::new(1 << 16, 20);
+    let report = machine.run(&mut triad);
+
+    println!("workload : STREAM triad, checksum {}", triad.checksum);
+    println!("events   : {}", report.trace.num_events());
+    println!("cycles   : {}", report.wall_cycles);
+    let stats = report.stats.total_cores();
+    println!(
+        "accesses : {} loads, {} stores ({} from DRAM)",
+        stats.loads, stats.stores, stats.served_dram
+    );
+    println!(
+        "PEBS     : {} samples, {:.1} % resolved to data objects",
+        report.trace.pebs_events().count(),
+        100.0 * report.trace.resolution.resolved_fraction()
+    );
+
+    // Fold the 20 triad repetitions into one synthetic instance.
+    let folded = fold_region(&report.trace, "triad", &FoldingConfig::default())
+        .expect("triad region folds");
+    println!(
+        "\nfolded {} instances of 'triad' (mean {:.3} ms, mean {:.0} MIPS)",
+        folded.instances_used,
+        folded.duration_ms(),
+        folded.mean_mips()
+    );
+    println!(
+        "L1D misses/instruction at folded midpoint: {:.4}",
+        folded.per_instruction_at(EventKind::L1dMiss, 0.5)
+    );
+
+    // The figure panels, rendered as ASCII.
+    println!("\n-- folded address panel ------------------------------------");
+    print!("{}", ascii::address_panel(&folded, 72, 16));
+    println!("\n-- folded performance panel --------------------------------");
+    print!("{}", ascii::performance_panel(&folded, 64));
+}

@@ -1,0 +1,39 @@
+//! # mempersp — memory perspective for performance analysis
+//!
+//! A Rust reproduction of *"Integrating Memory Perspective into the BSC
+//! Performance Tools"* (Servat et al., ICPP 2017).
+//!
+//! This façade crate re-exports the whole suite:
+//!
+//! * [`memsim`] — deterministic multi-level memory-hierarchy simulator
+//!   (the stand-in for the Haswell node used in the paper);
+//! * [`pebs`] — software PMU: counters and PEBS-style precise memory
+//!   sampling with event multiplexing;
+//! * [`extrae`] — the monitoring runtime: instrumentation, allocation
+//!   interposition, data-object resolution and Paraver-like traces;
+//! * [`folding`] — the Folding mechanism that turns sparse samples from
+//!   repetitive regions into one detailed synthetic instance;
+//! * [`hpcg`] — the HPCG 3.0 benchmark reimplementation used in the
+//!   paper's evaluation;
+//! * [`workloads`] — additional instrumented kernels;
+//! * [`core`] — the integrated work-flow: simulated machine, run harness,
+//!   analyses and figure emission.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mempersp::core::{Machine, MachineConfig};
+//! use mempersp::workloads::StreamTriad;
+//!
+//! let mut machine = Machine::new(MachineConfig::small());
+//! let report = machine.run(&mut StreamTriad::new(1 << 14, 3));
+//! assert!(report.trace.num_events() > 0);
+//! ```
+
+pub use mempersp_core as core;
+pub use mempersp_extrae as extrae;
+pub use mempersp_folding as folding;
+pub use mempersp_hpcg as hpcg;
+pub use mempersp_memsim as memsim;
+pub use mempersp_pebs as pebs;
+pub use mempersp_workloads as workloads;
