@@ -1,0 +1,17 @@
+//! Marker-trait stand-in for `serde`, for offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on most public data
+//! types as documentation of intent, but nothing actually serializes
+//! through serde's data model: trace persistence uses the hand-written
+//! Paraver-like format (`mempersp-extrae::trace_format`) and JSON
+//! output goes through the vendored `serde_json` facade's `Value`.
+//! These traits are blanket-implemented markers so the derives resolve
+//! without pulling the real crate from a registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,354 @@
+//! A self-contained JSON value type with the small slice of the
+//! `serde_json` API this workspace uses: the [`json!`] macro,
+//! [`to_string`] / [`to_string_pretty`] over [`Value`], and `&str`
+//! indexing. Vendored because the build environment has no registry
+//! access (see `crates/compat/README.md`).
+
+use std::fmt;
+
+/// A parsed/constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered, like `serde_json` with `preserve_order`.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integer or finite float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I(v) => write!(f, "{v}"),
+            Number::U(v) => write!(f, "{v}"),
+            Number::F(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    // JSON has no Inf/NaN; serde_json emits null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I(v)) => Some(*v as f64),
+            Value::Number(Number::U(v)) => Some(*v as f64),
+            Value::Number(Number::F(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(v)) => Some(*v),
+            Value::Number(Number::I(v)) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Member lookup; `Null` for misses, like `serde_json`'s `get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        match self {
+            Value::Number(Number::I(v)) => v == other,
+            Value::Number(Number::U(v)) => i64::try_from(*v).ok().as_ref() == Some(other),
+            _ => false,
+        }
+    }
+}
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(Number::F(v)) if v == other)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::F(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::F(v as f64))
+    }
+}
+macro_rules! from_int {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::$variant(v as $cast)) }
+        })*
+    };
+}
+from_int!(i8 => I as i64, i16 => I as i64, i32 => I as i64, i64 => I as i64,
+          u8 => U as u64, u16 => U as u64, u32 => U as u64, u64 => U as u64,
+          usize => U as u64);
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Serialization error (construction from `Value` cannot fail; the
+/// type exists so call sites keep their `Result` handling).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => ("\n", " ".repeat(w * level), " ".repeat(w * (level + 1))),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Compact one-line JSON.
+pub fn to_string(v: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    Ok(out)
+}
+
+/// Two-space-indented JSON, matching `serde_json::to_string_pretty`.
+pub fn to_string_pretty(v: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    Ok(out)
+}
+
+/// Construct a [`Value`] from JSON-ish literal syntax.
+///
+/// Unlike the real `serde_json::json!`, nested containers are not
+/// parsed structurally: a nested object or array literal must be its
+/// own `json!({...})` / `json!([...])` call (or any expression
+/// convertible via `Value::from`, e.g. a `Vec`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($item) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::Value::from($val)) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_roundtrips_to_text() {
+        let v = json!({
+            "a": 1u64,
+            "b": json!([true, json!(null)]),
+            "c": json!({ "nested": "x\"y" }),
+            "d": Option::<bool>::None,
+        });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][0], json!(true));
+        assert!(v["d"].is_null());
+        assert!(v["missing"].is_null());
+        let s = to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            r#"{"a":1,"b":[true,null],"c":{"nested":"x\"y"},"d":null}"#
+        );
+        let p = to_string_pretty(&v).unwrap();
+        assert!(p.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn numbers_display() {
+        assert_eq!(to_string(&json!(1.5f64)).unwrap(), "1.5");
+        assert_eq!(to_string(&json!(-3i64)).unwrap(), "-3");
+        assert_eq!(to_string(&json!(u64::MAX)).unwrap(), u64::MAX.to_string());
+    }
+}

@@ -27,7 +27,7 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mempersp run --workload <hpcg|stream|stencil|chase|matmul> \
-         [--nx N] [--iters N] [--cores N] [--no-group] [--haswell] -o <trace>\n  \
+         [--nx N] [--iters N] [--cores N] [--threads N] [--no-group] [--haswell] -o <trace>\n  \
          mempersp info <trace>\n  mempersp objects <trace>\n  \
          mempersp fold <trace> --region <name> [--csv-dir <dir>]\n  \
          mempersp export <trace> [--dir <dir>] [--prefix <name>]\n  \
@@ -88,6 +88,8 @@ fn cmd_run(args: &[String]) {
     let nx: usize = arg_value(args, "--nx").and_then(|v| v.parse().ok()).unwrap_or(8);
     let iters: usize = arg_value(args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(3);
     let cores: usize = arg_value(args, "--cores").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let threads: usize =
+        arg_value(args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
     let group = !args.iter().any(|a| a == "--no-group");
 
     let mut mcfg = if args.iter().any(|a| a == "--haswell") {
@@ -97,6 +99,7 @@ fn cmd_run(args: &[String]) {
         m.cores = cores;
         m
     };
+    mcfg.threads = threads.max(1);
     mcfg.counter_sample_period = mcfg.counter_sample_period.min(20_000);
 
     let mut workload: Box<dyn Workload> = match workload_name.as_str() {
@@ -119,12 +122,20 @@ fn cmd_run(args: &[String]) {
 
     let mut machine = Machine::new(mcfg);
     eprintln!("running {} ...", workload.name());
+    let wall = std::time::Instant::now();
     let report = machine.run(workload.as_mut());
+    let elapsed = wall.elapsed().as_secs_f64();
+    let accesses = report.stats.total_cores().accesses();
     eprintln!(
         "done: {} events, {} PEBS samples, {} cycles",
         report.trace.num_events(),
         report.trace.pebs_events().count(),
         report.wall_cycles
+    );
+    eprintln!(
+        "simulated {accesses} accesses in {elapsed:.2}s ({:.2} M accesses/s, {threads} thread{})",
+        accesses as f64 / elapsed / 1e6,
+        if threads == 1 { "" } else { "s" }
     );
     save_trace(std::path::Path::new(&out), &report.trace).expect("write trace");
     eprintln!("trace written to {out}");

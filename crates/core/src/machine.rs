@@ -12,12 +12,30 @@
 //! * the cycle clock is per core; [`AppContext::barrier`] aligns all
 //!   clocks to the maximum (idle cycles still advance the cycle
 //!   counter, as a busy-wait would).
+//!
+//! Execution is *epoch-pipelined* (DESIGN.md §7): issued operations
+//! are buffered until an observation point (region boundary,
+//! malloc/free, barrier, clock read, buffer cap). If no line touched
+//! in the epoch is shared between cores, each core's private-path
+//! simulation runs independently — on up to
+//! [`MachineConfig::threads`] worker threads — and the shared L3/DRAM
+//! traffic plus all accounting is replayed afterwards in the original
+//! global issue order. Conflicting epochs fall back to exact
+//! sequential simulation. Results are bit-identical for any thread
+//! count, including 1.
 
-use mempersp_extrae::{AppContext, CodeLocation, Ip, Trace, Tracer, TracerConfig, Workload};
-use mempersp_memsim::{AccessKind, HierarchyConfig, MemLevel, MemorySystem};
+use mempersp_extrae::{AppContext, CodeLocation, Ip, MemRequest, Trace, Tracer, TracerConfig, Workload};
+use mempersp_memsim::{
+    AccessKind, AccessResult, Addr, BatchOp, HierarchyConfig, MemLevel, MemorySystem,
+    PrivateResult, UncoreReq,
+};
 use mempersp_pebs::{
     EventKind, MemOp, MultiplexStats, Multiplexer, PebsEvent, Pmu, SamplingConfig,
 };
+
+/// Flush an epoch after this many buffered operations: bounds memory
+/// and keeps the private phase within cache-friendly batch sizes.
+const EPOCH_CAP: usize = 32_768;
 
 /// Which cores capture PEBS samples.
 ///
@@ -59,6 +77,10 @@ pub struct MachineConfig {
     pub mux_slice_cycles: u64,
     /// Which cores run PEBS.
     pub pebs_cores: PebsCoreSelect,
+    /// Worker threads for the private phase of conflict-free epochs
+    /// (clamped to the core count). Results are identical for every
+    /// value; this is purely a host-side speed knob.
+    pub threads: usize,
 }
 
 impl MachineConfig {
@@ -89,6 +111,7 @@ impl MachineConfig {
             ],
             mux_slice_cycles: 5_000,
             pebs_cores: PebsCoreSelect::All,
+            threads: 1,
         }
     }
 
@@ -119,6 +142,7 @@ impl MachineConfig {
             ],
             mux_slice_cycles: 250_000,
             pebs_cores: PebsCoreSelect::Only(0),
+            threads: 1,
         }
     }
 }
@@ -189,6 +213,24 @@ pub struct Machine {
     tracer: Tracer,
     cores: Vec<CoreState>,
     static_next: u64,
+    /// Buffered operations of the open epoch, in global issue order.
+    epoch: Vec<EpochOp>,
+    /// The same epoch's memory operations, grouped per issuing core
+    /// (the unit the private phase consumes).
+    epoch_mem: Vec<Vec<BatchOp>>,
+    /// Reused phase-1 output buffers, indexed by core.
+    ph_results: Vec<Vec<PrivateResult>>,
+    ph_reqs: Vec<Vec<UncoreReq>>,
+    ph_dirs: Vec<Vec<Addr>>,
+}
+
+/// One buffered operation. Memory ops keep their addr/size in the
+/// per-core [`BatchOp`] stream; the global log only needs issue order
+/// and attribution.
+#[derive(Debug, Clone, Copy)]
+enum EpochOp {
+    Mem { core: u32, ip: Ip },
+    Compute { core: u32, ip: Ip, instructions: u64, branches: u64 },
 }
 
 impl Machine {
@@ -212,7 +254,19 @@ impl Machine {
                 last_mux_index: 0,
             })
             .collect();
-        Self { cfg, mem, tracer, cores, static_next: 0x0060_0000 }
+        let n = cfg.cores;
+        Self {
+            cfg,
+            mem,
+            tracer,
+            cores,
+            static_next: 0x0060_0000,
+            epoch: Vec::new(),
+            epoch_mem: vec![Vec::new(); n],
+            ph_results: vec![Vec::new(); n],
+            ph_reqs: vec![Vec::new(); n],
+            ph_dirs: vec![Vec::new(); n],
+        }
     }
 
     /// The machine's configuration.
@@ -226,6 +280,7 @@ impl Machine {
     /// use a fresh machine for independent experiments.
     pub fn run(&mut self, workload: &mut dyn Workload) -> RunReport {
         workload.run(self);
+        self.flush_epoch();
         let name = workload.name();
         let tracer = std::mem::replace(&mut self.tracer, Tracer::new(self.cfg.tracer, self.cfg.cores));
         let trace = tracer.finish(&name);
@@ -262,10 +317,147 @@ impl Machine {
         }
     }
 
-    fn mem_access(&mut self, core: usize, ip: Ip, addr: u64, size: u32, kind: AccessKind) {
-        let now = self.cores[core].clock();
-        let res = self.mem.access(core, kind, addr, size, now);
+    /// Buffer one memory operation into the open epoch.
+    fn push_mem(&mut self, core: usize, ip: Ip, addr: u64, size: u32, kind: AccessKind) {
+        self.epoch.push(EpochOp::Mem { core: core as u32, ip });
+        self.epoch_mem[core].push(BatchOp { kind, addr, size });
+        if self.epoch.len() >= EPOCH_CAP {
+            self.flush_epoch();
+        }
+    }
 
+    /// Retire every buffered operation. Called at observation points
+    /// (region boundaries, allocation events, barriers, clock reads)
+    /// and at the buffer cap, so that everything the tracer or the
+    /// workload can observe is already accounted.
+    fn flush_epoch(&mut self) {
+        if self.epoch.is_empty() {
+            return;
+        }
+        let epoch = std::mem::take(&mut self.epoch);
+        let per_core = std::mem::take(&mut self.epoch_mem);
+
+        if self.mem.epoch_conflict_free(&per_core) {
+            self.run_epoch_pipelined(&epoch, &per_core);
+        } else {
+            // Cross-core sharing inside the epoch: replay exactly, one
+            // access at a time, in the original order.
+            let mut cursor = vec![0usize; self.cfg.cores];
+            for op in &epoch {
+                match *op {
+                    EpochOp::Mem { core, ip } => {
+                        let core = core as usize;
+                        let bop = per_core[core][cursor[core]];
+                        cursor[core] += 1;
+                        let now = self.cores[core].clock();
+                        let res = self.mem.access(core, bop.kind, bop.addr, bop.size, now);
+                        self.account_access(core, ip, bop.addr, bop.size, bop.kind, res);
+                    }
+                    EpochOp::Compute { core, ip, instructions, branches } => {
+                        self.account_compute(core as usize, ip, instructions, branches);
+                    }
+                }
+            }
+        }
+
+        // Return the buffers, keeping their capacity.
+        let mut epoch = epoch;
+        epoch.clear();
+        self.epoch = epoch;
+        let mut per_core = per_core;
+        for v in &mut per_core {
+            v.clear();
+        }
+        self.epoch_mem = per_core;
+    }
+
+    /// The two-phase path for a conflict-free epoch: parallel private
+    /// simulation, then a deterministic global replay of the shared
+    /// L3/DRAM traffic and all accounting.
+    fn run_epoch_pipelined(&mut self, epoch: &[EpochOp], per_core: &[Vec<BatchOp>]) {
+        let n = self.cfg.cores;
+        let track_dir = n > 1;
+        let mut results = std::mem::take(&mut self.ph_results);
+        let mut reqs = std::mem::take(&mut self.ph_reqs);
+        let mut dirs = std::mem::take(&mut self.ph_dirs);
+
+        // Phase 1: every core's private path, in parallel when asked.
+        {
+            let hier = &self.cfg.hierarchy;
+            let threads = self.cfg.threads.clamp(1, n);
+            let paths = self.mem.core_paths_mut();
+            let mut work: Vec<_> = paths
+                .iter_mut()
+                .zip(per_core)
+                .zip(results.iter_mut().zip(reqs.iter_mut()).zip(dirs.iter_mut()))
+                .map(|((path, ops), ((res, rq), dr))| (path, ops, res, rq, dr))
+                .filter(|(_, ops, ..)| !ops.is_empty())
+                .collect();
+            if threads <= 1 || work.len() <= 1 {
+                for (path, ops, res, rq, dr) in &mut work {
+                    path.simulate_private(hier, track_dir, ops, res, rq, dr);
+                }
+            } else {
+                let per_chunk = work.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    for chunk in work.chunks_mut(per_chunk) {
+                        s.spawn(move || {
+                            for (path, ops, res, rq, dr) in chunk {
+                                path.simulate_private(hier, track_dir, ops, res, rq, dr);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        // Bring the snoop-filter directory up to date (fixed core
+        // order — deterministic) before any phase-2 back-invalidation
+        // consults it.
+        if track_dir {
+            for (c, d) in dirs.iter_mut().enumerate() {
+                self.mem.sync_directory(c, d);
+            }
+        }
+
+        // Phase 2: walk the global issue order; apply each op's uncore
+        // requests and account it at its core's current clock.
+        let mut cursor = vec![0usize; n];
+        let mut req_cursor = vec![0usize; n];
+        for op in epoch {
+            match *op {
+                EpochOp::Mem { core, ip } => {
+                    let core = core as usize;
+                    let i = cursor[core];
+                    let bop = per_core[core][i];
+                    let pr = results[core][i];
+                    let slice = &reqs[core][req_cursor[core]..req_cursor[core] + pr.req_len as usize];
+                    let now = self.cores[core].clock();
+                    let res = self.mem.complete_access(core, &pr, slice, now);
+                    cursor[core] += 1;
+                    req_cursor[core] += pr.req_len as usize;
+                    self.account_access(core, ip, bop.addr, bop.size, bop.kind, res);
+                }
+                EpochOp::Compute { core, ip, instructions, branches } => {
+                    self.account_compute(core as usize, ip, instructions, branches);
+                }
+            }
+        }
+
+        for v in &mut results {
+            v.clear();
+        }
+        for v in &mut reqs {
+            v.clear();
+        }
+        self.ph_results = results;
+        self.ph_reqs = reqs;
+        self.ph_dirs = dirs;
+    }
+
+    /// PMU/stall/PEBS/timer accounting of one completed access — the
+    /// retire half of the old synchronous `mem_access`.
+    fn account_access(&mut self, core: usize, ip: Ip, addr: u64, size: u32, kind: AccessKind, res: AccessResult) {
         // PMU accounting.
         {
             let pmu = &mut self.cores[core].pmu;
@@ -338,6 +530,17 @@ impl Machine {
 
         self.poll_timer(core, ip);
     }
+
+    /// PMU/clock accounting of buffered non-memory work.
+    fn account_compute(&mut self, core: usize, ip: Ip, instructions: u64, branches: u64) {
+        {
+            let pmu = &mut self.cores[core].pmu;
+            pmu.add(EventKind::Instructions, instructions);
+            pmu.add(EventKind::Branches, branches);
+        }
+        self.advance(core, instructions as f64 * self.cfg.base_cpi);
+        self.poll_timer(core, ip);
+    }
 }
 
 impl AppContext for Machine {
@@ -350,11 +553,13 @@ impl AppContext for Machine {
     }
 
     fn malloc(&mut self, core: usize, size: u64, callsite: &CodeLocation) -> u64 {
+        self.flush_epoch();
         let now = self.cores[core].clock();
         self.tracer.malloc(size, callsite, now)
     }
 
     fn free(&mut self, core: usize, addr: u64) {
+        self.flush_epoch();
         let now = self.cores[core].clock();
         self.tracer.free(addr, now);
     }
@@ -375,41 +580,60 @@ impl AppContext for Machine {
     }
 
     fn enter(&mut self, core: usize, region: &str) {
+        self.flush_epoch();
         let snap = self.cores[core].pmu.snapshot();
         let now = self.cores[core].clock();
         self.tracer.enter(core, region, snap, now);
     }
 
     fn exit(&mut self, core: usize, region: &str) {
+        self.flush_epoch();
         let snap = self.cores[core].pmu.snapshot();
         let now = self.cores[core].clock();
         self.tracer.exit(core, region, snap, now);
     }
 
     fn load(&mut self, core: usize, ip: Ip, addr: u64, size: u32) {
-        self.mem_access(core, ip, addr, size, AccessKind::Load);
+        self.push_mem(core, ip, addr, size, AccessKind::Load);
     }
 
     fn store(&mut self, core: usize, ip: Ip, addr: u64, size: u32) {
-        self.mem_access(core, ip, addr, size, AccessKind::Store);
+        self.push_mem(core, ip, addr, size, AccessKind::Store);
+    }
+
+    fn access_batch(&mut self, core: usize, ops: &[MemRequest]) {
+        self.epoch_mem[core].reserve(ops.len());
+        self.epoch.reserve(ops.len());
+        for op in ops {
+            self.epoch.push(EpochOp::Mem { core: core as u32, ip: op.ip });
+            self.epoch_mem[core].push(BatchOp {
+                kind: if op.store { AccessKind::Store } else { AccessKind::Load },
+                addr: op.addr,
+                size: op.size,
+            });
+        }
+        if self.epoch.len() >= EPOCH_CAP {
+            self.flush_epoch();
+        }
     }
 
     fn compute(&mut self, core: usize, ip: Ip, instructions: u64, branches: u64) {
-        {
-            let pmu = &mut self.cores[core].pmu;
-            pmu.add(EventKind::Instructions, instructions);
-            pmu.add(EventKind::Branches, branches);
+        self.epoch.push(EpochOp::Compute { core: core as u32, ip, instructions, branches });
+        if self.epoch.len() >= EPOCH_CAP {
+            self.flush_epoch();
         }
-        self.advance(core, instructions as f64 * self.cfg.base_cpi);
-        self.poll_timer(core, ip);
     }
 
     fn set_overlap(&mut self, core: usize, overlap: f64) {
         assert!(overlap >= 1.0, "overlap must be >= 1");
+        // Buffered ops were issued under the old overlap; retire them
+        // before it changes.
+        self.flush_epoch();
         self.cores[core].overlap = overlap;
     }
 
     fn barrier(&mut self) {
+        self.flush_epoch();
         let max = self
             .cores
             .iter()
@@ -423,7 +647,8 @@ impl AppContext for Machine {
         }
     }
 
-    fn now(&self, core: usize) -> u64 {
+    fn now(&mut self, core: usize) -> u64 {
+        self.flush_epoch();
         self.cores[core].clock()
     }
 }
@@ -603,6 +828,117 @@ mod tests {
         assert!(rep.mux_stats[1].is_some());
         assert!(rep.trace.pebs_events().all(|(_, s, _)| s.core == 1));
         assert!(rep.trace.pebs_events().count() > 0);
+    }
+
+    /// Four cores streaming over private slabs with occasional
+    /// barriers and one shared (conflicting) phase — exercises both the
+    /// pipelined and the exact-replay epoch paths.
+    struct MultiCore {
+        n: usize,
+    }
+
+    impl Workload for MultiCore {
+        fn name(&self) -> String {
+            "multicore".into()
+        }
+
+        fn run(&mut self, ctx: &mut dyn AppContext) {
+            let cores = ctx.core_count();
+            let ip = ctx.location("mc.rs", 1, "mc");
+            let slab = 1u64 << 20;
+            let base = ctx.malloc(0, slab * cores as u64, &CodeLocation::new("mc.rs", 2, "mc"));
+            ctx.enter(0, "private");
+            for i in 0..self.n {
+                for c in 0..cores {
+                    let a = base + c as u64 * slab + ((i * 24) as u64 % slab);
+                    if i % 3 == 0 {
+                        ctx.store(c, ip, a, 8);
+                    } else {
+                        ctx.load(c, ip, a, 8);
+                    }
+                    ctx.compute(c, ip, 2, 1);
+                }
+                if i % 1000 == 999 {
+                    ctx.barrier();
+                }
+            }
+            ctx.exit(0, "private");
+            // Shared phase: every core reads the same lines.
+            ctx.enter(0, "shared");
+            for i in 0..self.n / 4 {
+                for c in 0..cores {
+                    ctx.load(c, ip, base + ((i * 8) as u64 % 4096), 8);
+                }
+            }
+            ctx.exit(0, "shared");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = |threads: usize| {
+            let mut cfg = MachineConfig::small();
+            cfg.cores = 4;
+            cfg.threads = threads;
+            let mut m = Machine::new(cfg);
+            let rep = m.run(&mut MultiCore { n: 6000 });
+            (rep.stats, rep.wall_cycles, rep.trace.events)
+        };
+        let seq = run(1);
+        let two = run(2);
+        let four = run(4);
+        assert_eq!(seq.0, two.0, "memsim stats differ between 1 and 2 threads");
+        assert_eq!(seq.0, four.0, "memsim stats differ between 1 and 4 threads");
+        assert_eq!(seq.1, two.1);
+        assert_eq!(seq.1, four.1);
+        assert_eq!(seq.2, two.2, "trace events differ between 1 and 2 threads");
+        assert_eq!(seq.2, four.2, "trace events differ between 1 and 4 threads");
+    }
+
+    #[test]
+    fn batch_issue_equals_singles_on_machine() {
+        struct W {
+            batched: bool,
+        }
+        impl Workload for W {
+            fn name(&self) -> String {
+                "w".into()
+            }
+            fn run(&mut self, ctx: &mut dyn AppContext) {
+                let ip = ctx.location("w.rs", 1, "w");
+                let base = ctx.malloc(0, 1 << 18, &CodeLocation::new("w.rs", 2, "w"));
+                ctx.enter(0, "r");
+                if self.batched {
+                    let ops: Vec<MemRequest> = (0..20_000u64)
+                        .map(|i| {
+                            let a = base + (i * 40) % (1 << 18);
+                            if i % 5 == 0 {
+                                MemRequest::store(ip, a, 8)
+                            } else {
+                                MemRequest::load(ip, a, 8)
+                            }
+                        })
+                        .collect();
+                    ctx.access_batch(0, &ops);
+                } else {
+                    for i in 0..20_000u64 {
+                        let a = base + (i * 40) % (1 << 18);
+                        if i % 5 == 0 {
+                            ctx.store(0, ip, a, 8);
+                        } else {
+                            ctx.load(0, ip, a, 8);
+                        }
+                    }
+                }
+                ctx.exit(0, "r");
+            }
+        }
+        let run = |batched: bool| {
+            let mut m = Machine::new(MachineConfig::small());
+            let rep = m.run(&mut W { batched });
+            (rep.stats, rep.wall_cycles, rep.trace.events)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -158,14 +158,14 @@ impl HpcgAnalysis {
                 / self.report.trace.meta.freq_mhz as f64,
             "phases": self.phases.iter().map(|p| {
                 serde_json::json!({
-                    "label": p.label,
-                    "region": p.region,
+                    "label": p.label.clone(),
+                    "region": p.region.clone(),
                     "x_start": p.x_start,
                     "x_end": p.x_end,
                 })
             }).collect::<Vec<_>>(),
             "bandwidth_mb_per_s": self.bandwidths.iter().map(|b| {
-                serde_json::json!({ "phase": b.label, "mb_per_s": b.mb_per_s })
+                serde_json::json!({ "phase": b.label.clone(), "mb_per_s": b.mb_per_s })
             }).collect::<Vec<_>>(),
             "sweeps": self.sweeps.as_ref().map(|(f, b)| serde_json::json!({
                 "forward": format!("{:?}", f.direction),

@@ -14,6 +14,29 @@
 
 use crate::source::{CodeLocation, Ip};
 
+/// One memory operation in a batched issue stream (see
+/// [`AppContext::access_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Attributed instruction pointer.
+    pub ip: Ip,
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u32,
+    /// `true` for a store, `false` for a load.
+    pub store: bool,
+}
+
+impl MemRequest {
+    pub fn load(ip: Ip, addr: u64, size: u32) -> Self {
+        Self { ip, addr, size, store: false }
+    }
+
+    pub fn store(ip: Ip, addr: u64, size: u32) -> Self {
+        Self { ip, addr, size, store: true }
+    }
+}
+
 /// What an instrumented application can do.
 ///
 /// `core` arguments select the simulated core issuing the action;
@@ -55,6 +78,22 @@ pub trait AppContext {
     /// Retire one store of `size` bytes at `addr`, attributed to `ip`.
     fn store(&mut self, core: usize, ip: Ip, addr: u64, size: u32);
 
+    /// Retire a batch of memory operations from `core`, equivalent to
+    /// calling [`load`](Self::load)/[`store`](Self::store) once per
+    /// request in order. Hot kernels should prefer this: contexts that
+    /// simulate the memory hierarchy override it to skip per-call
+    /// dispatch and exploit same-line/same-page locality within the
+    /// batch.
+    fn access_batch(&mut self, core: usize, ops: &[MemRequest]) {
+        for op in ops {
+            if op.store {
+                self.store(core, op.ip, op.addr, op.size);
+            } else {
+                self.load(core, op.ip, op.addr, op.size);
+            }
+        }
+    }
+
     /// Retire a batch of non-memory work: `instructions` total, of
     /// which `branches` are branch instructions.
     fn compute(&mut self, core: usize, ip: Ip, instructions: u64, branches: u64);
@@ -73,7 +112,11 @@ pub trait AppContext {
     fn barrier(&mut self);
 
     /// Current cycle of `core`'s clock.
-    fn now(&self, core: usize) -> u64;
+    ///
+    /// Takes `&mut self` because reading the clock is an observation
+    /// point: contexts that buffer work (e.g. the epoch-pipelined
+    /// machine) must retire everything issued so far before answering.
+    fn now(&mut self, core: usize) -> u64;
 }
 
 /// An instrumented application runnable on any [`AppContext`].
@@ -185,6 +228,18 @@ impl AppContext for NullContext {
         self.mem(core, true);
     }
 
+    fn access_batch(&mut self, core: usize, ops: &[MemRequest]) {
+        use mempersp_pebs::EventKind;
+        let stores = ops.iter().filter(|o| o.store).count() as u64;
+        let loads = ops.len() as u64 - stores;
+        let pmu = &mut self.pmus[core];
+        pmu.add(EventKind::Instructions, ops.len() as u64);
+        pmu.add(EventKind::Loads, loads);
+        pmu.add(EventKind::Stores, stores);
+        pmu.add(EventKind::Cycles, 4 * ops.len() as u64);
+        self.clocks[core] += 4 * ops.len() as u64;
+    }
+
     fn compute(&mut self, core: usize, _ip: Ip, instructions: u64, branches: u64) {
         use mempersp_pebs::EventKind;
         let pmu = &mut self.pmus[core];
@@ -204,7 +259,7 @@ impl AppContext for NullContext {
         }
     }
 
-    fn now(&self, core: usize) -> u64 {
+    fn now(&mut self, core: usize) -> u64 {
         self.clocks[core]
     }
 }

@@ -39,7 +39,7 @@ pub mod trace_format;
 pub mod tracer;
 
 pub use events::{EventPayload, TraceEvent};
-pub use harness::{AppContext, NullContext, Workload};
+pub use harness::{AppContext, MemRequest, NullContext, Workload};
 pub use objects::{ObjectId, ObjectKind, ObjectRegistry, ResolvedObject};
 pub use sim_alloc::SimAllocator;
 pub use source::{CodeLocation, Ip, SourceMap};

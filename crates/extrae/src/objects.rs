@@ -77,6 +77,12 @@ pub struct ObjectRegistry {
     groups: BTreeMap<u64, u32>,
     dynamics: BTreeMap<u64, u32>,
     statics: BTreeMap<u64, u32>,
+    /// Last successful resolution: `(base, end, object index)`.
+    /// Consecutive PEBS samples overwhelmingly land in the same object,
+    /// so this memo short-circuits the three-map lookup. Invalidated on
+    /// any registry mutation (a later group registration outranks a
+    /// memoized dynamic hit).
+    memo: Option<(u64, u64, u32)>,
 }
 
 impl ObjectRegistry {
@@ -93,6 +99,7 @@ impl ObjectRegistry {
             ObjectKind::Static => &mut self.statics,
         };
         map.insert(base, id.0);
+        self.memo = None;
         id
     }
 
@@ -108,6 +115,7 @@ impl ObjectRegistry {
 
     /// Remove the dynamic object starting at `base` (freed).
     pub fn remove_dynamic(&mut self, base: u64) -> Option<ObjectId> {
+        self.memo = None;
         self.dynamics.remove(&base).map(ObjectId)
     }
 
@@ -124,18 +132,35 @@ impl ObjectRegistry {
             .filter(|&i| addr < objects[i as usize].end())
     }
 
-    /// Resolve an address to the covering object, if any.
-    pub fn resolve(&self, addr: u64) -> Option<ResolvedObject> {
-        let idx = Self::lookup(&self.groups, &self.objects, addr)
+    fn lookup_any(&self, addr: u64) -> Option<u32> {
+        Self::lookup(&self.groups, &self.objects, addr)
             .or_else(|| Self::lookup(&self.dynamics, &self.objects, addr))
-            .or_else(|| Self::lookup(&self.statics, &self.objects, addr))?;
+            .or_else(|| Self::lookup(&self.statics, &self.objects, addr))
+    }
+
+    /// Resolve an address to `(object id, offset within it)` without
+    /// touching the object's name — the allocation-free fast path the
+    /// per-sample PEBS pipeline uses. Names are recovered lazily via
+    /// [`get`](Self::get) at report time.
+    pub fn resolve_id(&mut self, addr: u64) -> Option<(ObjectId, u64)> {
+        if let Some((base, end, idx)) = self.memo {
+            if addr >= base && addr < end {
+                return Some((ObjectId(idx), addr - base));
+            }
+        }
+        let idx = self.lookup_any(addr)?;
         let o = &self.objects[idx as usize];
-        Some(ResolvedObject {
-            id: o.id,
-            name: o.name.clone(),
-            kind: o.kind,
-            offset: addr - o.base,
-        })
+        self.memo = Some((o.base, o.end(), idx));
+        Some((o.id, addr - o.base))
+    }
+
+    /// Resolve an address to the covering object, if any. Clones the
+    /// object's name; hot paths should prefer
+    /// [`resolve_id`](Self::resolve_id).
+    pub fn resolve(&self, addr: u64) -> Option<ResolvedObject> {
+        let idx = self.lookup_any(addr)?;
+        let o = &self.objects[idx as usize];
+        Some(ResolvedObject { id: o.id, name: o.name.clone(), kind: o.kind, offset: addr - o.base })
     }
 
     /// Object descriptor by id.
@@ -157,6 +182,7 @@ impl ObjectRegistry {
     /// Rebuild the interval maps after deserialization (the maps are
     /// serialized, so this is only needed for hand-built registries).
     pub fn rebuild(&mut self) {
+        self.memo = None;
         self.groups.clear();
         self.dynamics.clear();
         self.statics.clear();
@@ -268,6 +294,36 @@ mod tests {
         assert_eq!(r.resolvable_count(), 3);
         r.remove_dynamic(100);
         assert_eq!(r.resolvable_count(), 2);
+    }
+
+    #[test]
+    fn resolve_id_matches_resolve() {
+        let mut r = ObjectRegistry::new();
+        r.register_static("s", 0x1000, 0x100);
+        r.register_dynamic("d:1", 0x2000, 0x80);
+        for addr in [0x1000u64, 0x10ff, 0x2000, 0x207f, 0x999, 0x2080] {
+            let full = r.resolve(addr);
+            let fast = r.resolve_id(addr);
+            assert_eq!(full.as_ref().map(|o| (o.id, o.offset)), fast, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn memo_repeated_hits_and_invalidation() {
+        let mut r = ObjectRegistry::new();
+        r.register_dynamic("d:1", 0x1000, 0x100);
+        // Repeated hits exercise the memo path.
+        assert_eq!(r.resolve_id(0x1010), Some((ObjectId(0), 0x10)));
+        assert_eq!(r.resolve_id(0x1020), Some((ObjectId(0), 0x20)));
+        // A group over the same range outranks the memoized dynamic.
+        let gid = r.register_group("g", 0x1000, 0x100, 0x100);
+        assert_eq!(r.resolve_id(0x1020), Some((gid, 0x20)));
+        // Freeing kills the memo too.
+        let mut r2 = ObjectRegistry::new();
+        r2.register_dynamic("d:2", 0x4000, 0x40);
+        assert!(r2.resolve_id(0x4000).is_some());
+        r2.remove_dynamic(0x4000);
+        assert_eq!(r2.resolve_id(0x4000), None);
     }
 
     #[test]

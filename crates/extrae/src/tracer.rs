@@ -263,7 +263,7 @@ impl Tracer {
     /// Forward a PEBS sample; the address is resolved against the
     /// object registry *at capture time* (objects may be freed later).
     pub fn record_pebs(&mut self, sample: PebsSample) {
-        let object = self.objects.resolve(sample.addr).map(|r| r.id);
+        let object = self.objects.resolve_id(sample.addr).map(|(id, _)| id);
         if object.is_some() {
             self.resolution.resolved += 1;
         } else {

@@ -15,7 +15,13 @@
 
 use crate::regions;
 use crate::structures::{SimVector, SparseMatrix};
-use mempersp_extrae::{AppContext, Ip};
+use mempersp_extrae::{AppContext, Ip, MemRequest};
+
+/// Iterations batched per [`AppContext::access_batch`] issue in the
+/// streaming vector kernels. The sparse kernels batch per matrix row
+/// instead, which keeps their issue order identical to element-wise
+/// calls.
+const STREAM_CHUNK: usize = 256;
 
 /// Source file of the SYMGS sweeps (for ip-based sweep attribution).
 pub const SYMGS_FILE: &str = "ComputeSYMGS_ref.cpp";
@@ -144,20 +150,23 @@ pub fn compute_spmv(
     assert_eq!(y.len(), a.nrows());
     ctx.enter(core, regions::SPMV);
     ctx.set_overlap(core, SPMV_OVERLAP);
+    let mut buf: Vec<MemRequest> = Vec::with_capacity(128);
     for i in 0..a.nrows() {
         let nnz = a.row_nnz(i);
         let cols = a.row_cols(i);
         let vals = a.row_values(i);
         let mut sum = 0.0;
         for k in 0..nnz {
-            ctx.load(core, ips.spmv_cols, a.col_addr(i, k), 4);
-            ctx.load(core, ips.spmv_vals, a.value_addr(i, k), 8);
+            buf.push(MemRequest::load(ips.spmv_cols, a.col_addr(i, k), 4));
+            buf.push(MemRequest::load(ips.spmv_vals, a.value_addr(i, k), 8));
             let j = cols[k] as usize;
-            ctx.load(core, ips.spmv_x, x.addr(j), 8);
+            buf.push(MemRequest::load(ips.spmv_x, x.addr(j), 8));
             sum += vals[k] * x.get(j);
         }
         y.set(i, sum);
-        ctx.store(core, ips.spmv_store, y.addr(i), 8);
+        buf.push(MemRequest::store(ips.spmv_store, y.addr(i), 8));
+        ctx.access_batch(core, &buf);
+        buf.clear();
         ctx.compute(core, ips.spmv_loop, (2 * nnz + 4) as u64, (nnz + 1) as u64);
     }
     ctx.exit(core, regions::SPMV);
@@ -168,6 +177,7 @@ pub fn compute_spmv(
 fn symgs_row(
     ctx: &mut dyn AppContext,
     core: usize,
+    buf: &mut Vec<MemRequest>,
     a: &SparseMatrix,
     b: &SimVector,
     x: &mut SimVector,
@@ -183,20 +193,22 @@ fn symgs_row(
     let cols = a.row_cols(i);
     let vals = a.row_values(i);
     let diag = a.diag(i);
-    ctx.load(core, ip_b, b.addr(i), 8);
+    buf.push(MemRequest::load(ip_b, b.addr(i), 8));
     let mut sum = b.get(i);
     for k in 0..nnz {
-        ctx.load(core, ip_cols, a.col_addr(i, k), 4);
-        ctx.load(core, ip_vals, a.value_addr(i, k), 8);
+        buf.push(MemRequest::load(ip_cols, a.col_addr(i, k), 4));
+        buf.push(MemRequest::load(ip_vals, a.value_addr(i, k), 8));
         let j = cols[k] as usize;
-        ctx.load(core, ip_x, x.addr(j), 8);
+        buf.push(MemRequest::load(ip_x, x.addr(j), 8));
         sum -= vals[k] * x.get(j);
     }
     // Remove the self-contribution added in the loop (reference code's
     // `sum += xv[i] * currentDiagonal`).
     sum += x.get(i) * diag;
     x.set(i, sum / diag);
-    ctx.store(core, ip_store, x.addr(i), 8);
+    buf.push(MemRequest::store(ip_store, x.addr(i), 8));
+    ctx.access_batch(core, buf);
+    buf.clear();
     ctx.compute(core, ip_loop, (2 * nnz + 8) as u64, (nnz + 1) as u64);
 }
 
@@ -215,10 +227,12 @@ pub fn compute_symgs(
     assert_eq!(x.len(), a.nrows());
     ctx.enter(core, regions::SYMGS);
     ctx.set_overlap(core, SYMGS_OVERLAP);
+    let mut buf: Vec<MemRequest> = Vec::with_capacity(128);
     for i in 0..a.nrows() {
         symgs_row(
             ctx,
             core,
+            &mut buf,
             a,
             b,
             x,
@@ -235,6 +249,7 @@ pub fn compute_symgs(
         symgs_row(
             ctx,
             core,
+            &mut buf,
             a,
             b,
             x,
@@ -263,13 +278,26 @@ pub fn compute_dot(
     ctx.set_overlap(core, STREAM_OVERLAP);
     let same = x.base() == y.base();
     let mut sum = 0.0;
+    let mut buf: Vec<MemRequest> = Vec::with_capacity(2 * STREAM_CHUNK);
+    let mut pending = 0u64;
     for i in 0..x.len() {
-        ctx.load(core, ips.dot_x, x.addr(i), 8);
+        buf.push(MemRequest::load(ips.dot_x, x.addr(i), 8));
         if !same {
-            ctx.load(core, ips.dot_y, y.addr(i), 8);
+            buf.push(MemRequest::load(ips.dot_y, y.addr(i), 8));
         }
         sum += x.get(i) * y.get(i);
-        ctx.compute(core, ips.dot_loop, 3, 1);
+        pending += 1;
+        if pending as usize == STREAM_CHUNK {
+            ctx.access_batch(core, &buf);
+            buf.clear();
+            ctx.compute(core, ips.dot_loop, 3 * pending, pending);
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        ctx.access_batch(core, &buf);
+        buf.clear();
+        ctx.compute(core, ips.dot_loop, 3 * pending, pending);
     }
     ctx.exit(core, regions::DOT);
     sum
@@ -292,12 +320,25 @@ pub fn compute_waxpby(
     assert_eq!(x.len(), w.len());
     ctx.enter(core, regions::WAXPBY);
     ctx.set_overlap(core, STREAM_OVERLAP);
+    let mut buf: Vec<MemRequest> = Vec::with_capacity(3 * STREAM_CHUNK);
+    let mut pending = 0u64;
     for i in 0..x.len() {
-        ctx.load(core, ips.waxpby_x, x.addr(i), 8);
-        ctx.load(core, ips.waxpby_y, y.addr(i), 8);
+        buf.push(MemRequest::load(ips.waxpby_x, x.addr(i), 8));
+        buf.push(MemRequest::load(ips.waxpby_y, y.addr(i), 8));
         w.set(i, alpha * x.get(i) + beta * y.get(i));
-        ctx.store(core, ips.waxpby_store, w.addr(i), 8);
-        ctx.compute(core, ips.waxpby_loop, 4, 1);
+        buf.push(MemRequest::store(ips.waxpby_store, w.addr(i), 8));
+        pending += 1;
+        if pending as usize == STREAM_CHUNK {
+            ctx.access_batch(core, &buf);
+            buf.clear();
+            ctx.compute(core, ips.waxpby_loop, 4 * pending, pending);
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        ctx.access_batch(core, &buf);
+        buf.clear();
+        ctx.compute(core, ips.waxpby_loop, 4 * pending, pending);
     }
     ctx.exit(core, regions::WAXPBY);
 }
@@ -317,14 +358,27 @@ pub fn compute_restriction(
     assert_eq!(f2c.len(), rc.len());
     ctx.enter(core, regions::RESTRICTION);
     ctx.set_overlap(core, STREAM_OVERLAP);
+    let mut buf: Vec<MemRequest> = Vec::with_capacity(4 * STREAM_CHUNK);
+    let mut pending = 0u64;
     for (ci, &fi) in f2c.iter().enumerate() {
-        ctx.load(core, ips.restr_f2c, f2c_base + (ci * 4) as u64, 4);
+        buf.push(MemRequest::load(ips.restr_f2c, f2c_base + (ci * 4) as u64, 4));
         let fi = fi as usize;
-        ctx.load(core, ips.restr_rf, rf.addr(fi), 8);
-        ctx.load(core, ips.restr_axf, axf.addr(fi), 8);
+        buf.push(MemRequest::load(ips.restr_rf, rf.addr(fi), 8));
+        buf.push(MemRequest::load(ips.restr_axf, axf.addr(fi), 8));
         rc.set(ci, rf.get(fi) - axf.get(fi));
-        ctx.store(core, ips.restr_store, rc.addr(ci), 8);
-        ctx.compute(core, ips.restr_loop, 4, 1);
+        buf.push(MemRequest::store(ips.restr_store, rc.addr(ci), 8));
+        pending += 1;
+        if pending as usize == STREAM_CHUNK {
+            ctx.access_batch(core, &buf);
+            buf.clear();
+            ctx.compute(core, ips.restr_loop, 4 * pending, pending);
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        ctx.access_batch(core, &buf);
+        buf.clear();
+        ctx.compute(core, ips.restr_loop, 4 * pending, pending);
     }
     ctx.exit(core, regions::RESTRICTION);
 }
@@ -342,14 +396,27 @@ pub fn compute_prolongation(
     assert_eq!(f2c.len(), xc.len());
     ctx.enter(core, regions::PROLONGATION);
     ctx.set_overlap(core, STREAM_OVERLAP);
+    let mut buf: Vec<MemRequest> = Vec::with_capacity(4 * STREAM_CHUNK);
+    let mut pending = 0u64;
     for (ci, &fi) in f2c.iter().enumerate() {
-        ctx.load(core, ips.prolong_f2c, f2c_base + (ci * 4) as u64, 4);
+        buf.push(MemRequest::load(ips.prolong_f2c, f2c_base + (ci * 4) as u64, 4));
         let fi = fi as usize;
-        ctx.load(core, ips.prolong_xc, xc.addr(ci), 8);
-        ctx.load(core, ips.prolong_xf, xf.addr(fi), 8);
+        buf.push(MemRequest::load(ips.prolong_xc, xc.addr(ci), 8));
+        buf.push(MemRequest::load(ips.prolong_xf, xf.addr(fi), 8));
         xf.set(fi, xf.get(fi) + xc.get(ci));
-        ctx.store(core, ips.prolong_store, xf.addr(fi), 8);
-        ctx.compute(core, ips.prolong_loop, 4, 1);
+        buf.push(MemRequest::store(ips.prolong_store, xf.addr(fi), 8));
+        pending += 1;
+        if pending as usize == STREAM_CHUNK {
+            ctx.access_batch(core, &buf);
+            buf.clear();
+            ctx.compute(core, ips.prolong_loop, 4 * pending, pending);
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        ctx.access_batch(core, &buf);
+        buf.clear();
+        ctx.compute(core, ips.prolong_loop, 4 * pending, pending);
     }
     ctx.exit(core, regions::PROLONGATION);
 }
@@ -358,9 +425,22 @@ pub fn compute_prolongation(
 /// `ComputeMG_ref`).
 pub fn zero_vector(ctx: &mut dyn AppContext, core: usize, ips: &KernelIps, x: &mut SimVector) {
     ctx.set_overlap(core, STREAM_OVERLAP);
+    let mut buf: Vec<MemRequest> = Vec::with_capacity(STREAM_CHUNK);
+    let mut pending = 0u64;
     for i in 0..x.len() {
         x.set(i, 0.0);
-        ctx.store(core, ips.zero_store, x.addr(i), 8);
-        ctx.compute(core, ips.zero_loop, 2, 1);
+        buf.push(MemRequest::store(ips.zero_store, x.addr(i), 8));
+        pending += 1;
+        if pending as usize == STREAM_CHUNK {
+            ctx.access_batch(core, &buf);
+            buf.clear();
+            ctx.compute(core, ips.zero_loop, 2 * pending, pending);
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        ctx.access_batch(core, &buf);
+        buf.clear();
+        ctx.compute(core, ips.zero_loop, 2 * pending, pending);
     }
 }

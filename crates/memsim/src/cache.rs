@@ -105,6 +105,7 @@ impl Cache {
 
     /// Is the line containing `line_addr` resident? Does not update
     /// replacement state or counters.
+    #[inline]
     pub fn probe(&self, line_addr: Addr) -> bool {
         let set = self.set_index(line_addr);
         let tag = self.tag(line_addr);
@@ -114,10 +115,51 @@ impl Cache {
             .any(|w| matches!(w, Some(m) if m.tag == tag))
     }
 
+    /// Like [`Cache::probe`], but reports *which way* holds the line.
+    /// Does not update replacement state or counters.
+    #[inline]
+    pub fn probe_way(&self, line_addr: Addr) -> Option<u32> {
+        let set = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        self.sets[set]
+            .ways
+            .iter()
+            .position(|w| matches!(w, Some(m) if m.tag == tag))
+            .map(|w| w as u32)
+    }
+
+    /// Demand access to a line the caller knows is resident in `way`
+    /// (e.g. from [`Cache::probe_way`] with no eviction since) — the
+    /// exact equivalent of [`Cache::access`] hitting that way, minus
+    /// the tag scan.
+    #[inline]
+    pub fn touch_resident(&mut self, line_addr: Addr, way: u32, is_store: bool) {
+        self.clock += 1;
+        let set_idx = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        let meta = set.ways[way as usize]
+            .as_mut()
+            .expect("touch_resident: way is empty");
+        debug_assert_eq!(meta.tag, tag, "touch_resident: wrong line");
+        let first = meta.prefetched;
+        meta.prefetched = false;
+        if is_store {
+            meta.dirty = true;
+        }
+        set.repl.touch(way, clock);
+        self.stats.hits += 1;
+        if first {
+            self.stats.prefetch_hits += 1;
+        }
+    }
+
     /// Demand access to the line containing `line_addr`. `is_store`
     /// marks the line dirty on hit. Counters and replacement state are
     /// updated; on a miss the line is *not* installed (call
     /// [`Cache::fill`] after fetching from the next level).
+    #[inline]
     pub fn access(&mut self, line_addr: Addr, is_store: bool) -> LookupOutcome {
         self.clock += 1;
         let set_idx = self.set_index(line_addr);

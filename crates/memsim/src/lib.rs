@@ -45,7 +45,9 @@ pub mod tlb;
 
 pub use cache::{Cache, LineMeta};
 pub use config::{CacheConfig, DramConfig, HierarchyConfig, PrefetchConfig, TlbConfig, WriteMissPolicy};
-pub use hierarchy::{AccessKind, AccessResult, MemLevel, MemorySystem};
+pub use hierarchy::{
+    AccessKind, AccessResult, BatchOp, CorePath, MemLevel, MemorySystem, PrivateResult, UncoreReq,
+};
 pub use prefetch::StreamPrefetcher;
 pub use replacement::ReplacementPolicy;
 pub use stats::{CacheStats, CoreStats, SystemStats};

@@ -46,8 +46,16 @@ impl StreamPrefetcher {
     /// Observe a demanded line and return the line addresses to
     /// prefetch (possibly empty). `line_addr` must be line-aligned.
     pub fn observe(&mut self, line_addr: Addr) -> Vec<Addr> {
+        let mut out = Vec::new();
+        self.observe_into(line_addr, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`observe`](Self::observe): appends
+    /// the prefetch candidates to `out` (which the caller reuses).
+    pub fn observe_into(&mut self, line_addr: Addr, out: &mut Vec<Addr>) {
         if !self.cfg.enabled {
-            return Vec::new();
+            return;
         }
         self.clock += 1;
         let clock = self.clock;
@@ -70,7 +78,7 @@ impl StreamPrefetcher {
                 let delta = line_addr as i64 - s.last_line as i64;
                 if delta == 0 {
                     s.last_use = clock;
-                    return Vec::new();
+                    return;
                 }
                 let stride_lines = delta / ls;
                 if delta % ls == 0 && stride_lines == s.stride {
@@ -86,20 +94,15 @@ impl StreamPrefetcher {
                 if s.confidence >= self.cfg.train_threshold && s.stride != 0 {
                     let stride = s.stride;
                     let degree = self.cfg.degree as i64;
-                    let out: Vec<Addr> = (1..=degree)
-                        .filter_map(|k| {
-                            let a = line_addr as i64 + stride * ls * k;
-                            if a >= 0 {
-                                Some(a as Addr)
-                            } else {
-                                None
-                            }
-                        })
-                        .collect();
-                    self.issued += out.len() as u64;
-                    return out;
+                    let before = out.len();
+                    for k in 1..=degree {
+                        let a = line_addr as i64 + stride * ls * k;
+                        if a >= 0 {
+                            out.push(a as Addr);
+                        }
+                    }
+                    self.issued += (out.len() - before) as u64;
                 }
-                Vec::new()
             }
             None => {
                 // Allocate a new stream, replacing the LRU one.
@@ -122,7 +125,6 @@ impl StreamPrefetcher {
                     last_use: clock,
                     valid: true,
                 };
-                Vec::new()
             }
         }
     }

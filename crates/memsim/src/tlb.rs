@@ -7,14 +7,45 @@
 
 use crate::config::TlbConfig;
 use crate::Addr;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One-multiply hasher for virtual page numbers: the TLB lookup is on
+/// the per-access critical path of the whole simulator, so SipHash is
+/// too expensive and a Fibonacci-style mix is plenty for page keys.
+#[derive(Default)]
+struct VpnHasher(u64);
+
+impl Hasher for VpnHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
 
 /// Fully-associative TLB.
+///
+/// Entries live in a hash map keyed by virtual page number, with a
+/// strictly increasing last-touch clock per entry. Replacement picks
+/// the minimum clock — exactly the linear-scan true-LRU this replaces
+/// (clocks are unique, so the victim is unambiguous and deterministic),
+/// but a hit costs one hash probe instead of an O(entries) scan.
 #[derive(Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
     page_shift: u32,
-    /// (virtual page number, last-touch clock)
-    entries: Vec<(u64, u64)>,
+    /// virtual page number → last-touch clock
+    entries: HashMap<u64, u64, BuildHasherDefault<VpnHasher>>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -27,7 +58,7 @@ impl Tlb {
         Self {
             page_shift: cfg.page_size.trailing_zeros(),
             cfg,
-            entries: Vec::new(),
+            entries: HashMap::default(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -37,28 +68,28 @@ impl Tlb {
     /// Translate the page of `addr`; returns the extra latency charged
     /// (0 on hit, the walk latency on miss). The entry is installed on
     /// a miss.
+    #[inline]
     pub fn access(&mut self, addr: Addr) -> u32 {
         self.clock += 1;
         let vpn = addr >> self.page_shift;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == vpn) {
-            e.1 = self.clock;
+        if let Some(touch) = self.entries.get_mut(&vpn) {
+            *touch = self.clock;
             self.hits += 1;
             return 0;
         }
         self.misses += 1;
-        if self.entries.len() < self.cfg.entries as usize {
-            self.entries.push((vpn, self.clock));
-        } else {
-            // Replace the LRU entry.
+        if self.entries.len() >= self.cfg.entries as usize {
+            // Replace the LRU entry (unique minimum clock; misses are
+            // rare, so the scan is off the hot path).
             let lru = self
                 .entries
                 .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.1)
-                .map(|(i, _)| i)
+                .min_by_key(|(_, &touch)| touch)
+                .map(|(&vpn, _)| vpn)
                 .expect("TLB has at least one entry");
-            self.entries[lru] = (vpn, self.clock);
+            self.entries.remove(&lru);
         }
+        self.entries.insert(vpn, self.clock);
         self.cfg.walk_latency
     }
 

@@ -147,6 +147,48 @@ proptest! {
         }
     }
 
+    /// `access_batch` is observably identical to the equivalent run of
+    /// single `access` calls: same per-op results and same final
+    /// statistics, for any op mix, batch split, and core count.
+    #[test]
+    fn access_batch_equals_singles(
+        ops in prop::collection::vec(
+            (0usize..3, 0u64..1 << 22, arb_kind(), 1u32..64),
+            1..300,
+        ),
+        split in 1usize..40,
+    ) {
+        use mempersp_memsim::BatchOp;
+        let mut single = MemorySystem::new(HierarchyConfig::small_test(), 3);
+        let mut batched = MemorySystem::new(HierarchyConfig::small_test(), 3);
+        let mut out = Vec::new();
+        // Issue in chunks of `split` ops; each chunk is further grouped
+        // into per-core runs (a batch targets one core).
+        for (ci, chunk) in ops.chunks(split).enumerate() {
+            let now = ci as u64 * 11;
+            let mut i = 0usize;
+            while i < chunk.len() {
+                let core = chunk[i].0;
+                let mut j = i;
+                while j < chunk.len() && chunk[j].0 == core {
+                    j += 1;
+                }
+                let batch: Vec<BatchOp> = chunk[i..j]
+                    .iter()
+                    .map(|&(_, addr, kind, size)| BatchOp { kind, addr, size })
+                    .collect();
+                out.clear();
+                batched.access_batch(core, &batch, now, &mut out);
+                for (k, &(_, addr, kind, size)) in chunk[i..j].iter().enumerate() {
+                    let want = single.access(core, kind, addr, size, now);
+                    prop_assert_eq!(out[k], want, "op {} diverged", i + k);
+                }
+                i = j;
+            }
+        }
+        prop_assert_eq!(single.stats(), batched.stats());
+    }
+
     /// Monotone hierarchy: a deeper data source never has a smaller
     /// latency than a shallower one within the same access stream.
     #[test]

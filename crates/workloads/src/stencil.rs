@@ -1,6 +1,10 @@
 //! A 7-point Jacobi stencil sweep over a 3D grid.
 
-use mempersp_extrae::{AppContext, CodeLocation, Workload};
+use mempersp_extrae::{AppContext, CodeLocation, MemRequest, Workload};
+
+/// Cells batched per [`AppContext::access_batch`] issue (8 requests
+/// per cell).
+const CHUNK: usize = 128;
 
 /// Jacobi sweeps `out[i] = (in[i] + Σ neighbours)/7` over an
 /// `n × n × n` grid, ping-ponging between two arrays.
@@ -44,8 +48,10 @@ impl Workload for Stencil7 {
         let mut nxt_base = base_b;
 
         ctx.set_overlap(0, 5.0);
+        let mut buf: Vec<MemRequest> = Vec::with_capacity(8 * CHUNK);
         for _ in 0..self.sweeps {
             ctx.enter(0, "jacobi7");
+            let mut pending = 0u64;
             for z in 1..n - 1 {
                 for y in 1..n - 1 {
                     for x in 1..n - 1 {
@@ -61,14 +67,25 @@ impl Workload for Stencil7 {
                         ];
                         let mut sum = 0.0;
                         for &j in &neigh {
-                            ctx.load(0, ip_in, cur_base + (j * 8) as u64, 8);
+                            buf.push(MemRequest::load(ip_in, cur_base + (j * 8) as u64, 8));
                             sum += cur[j];
                         }
                         nxt[c] = sum / 7.0;
-                        ctx.store(0, ip_out, nxt_base + (c * 8) as u64, 8);
-                        ctx.compute(0, ip_loop, 10, 3);
+                        buf.push(MemRequest::store(ip_out, nxt_base + (c * 8) as u64, 8));
+                        pending += 1;
+                        if pending as usize == CHUNK {
+                            ctx.access_batch(0, &buf);
+                            buf.clear();
+                            ctx.compute(0, ip_loop, 10 * pending, 3 * pending);
+                            pending = 0;
+                        }
                     }
                 }
+            }
+            if pending > 0 {
+                ctx.access_batch(0, &buf);
+                buf.clear();
+                ctx.compute(0, ip_loop, 10 * pending, 3 * pending);
             }
             ctx.exit(0, "jacobi7");
             std::mem::swap(&mut cur, &mut nxt);

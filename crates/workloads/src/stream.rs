@@ -1,6 +1,9 @@
 //! The STREAM triad: `a[i] = b[i] + s · c[i]`.
 
-use mempersp_extrae::{AppContext, CodeLocation, Workload};
+use mempersp_extrae::{AppContext, CodeLocation, MemRequest, Workload};
+
+/// Elements batched per [`AppContext::access_batch`] issue.
+const CHUNK: usize = 256;
 
 /// STREAM triad over three `n`-element vectors, repeated `reps` times.
 #[derive(Debug, Clone)]
@@ -41,14 +44,27 @@ impl Workload for StreamTriad {
         let c: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
 
         ctx.set_overlap(0, 8.0);
+        let mut buf: Vec<MemRequest> = Vec::with_capacity(3 * CHUNK);
         for _ in 0..self.reps {
             ctx.enter(0, "triad");
+            let mut pending = 0u64;
             for i in 0..n {
-                ctx.load(0, ip_b, b_base + (i * 8) as u64, 8);
-                ctx.load(0, ip_c, c_base + (i * 8) as u64, 8);
+                buf.push(MemRequest::load(ip_b, b_base + (i * 8) as u64, 8));
+                buf.push(MemRequest::load(ip_c, c_base + (i * 8) as u64, 8));
                 a[i] = b[i] + self.scalar * c[i];
-                ctx.store(0, ip_a, a_base + (i * 8) as u64, 8);
-                ctx.compute(0, ip_loop, 4, 1);
+                buf.push(MemRequest::store(ip_a, a_base + (i * 8) as u64, 8));
+                pending += 1;
+                if pending as usize == CHUNK {
+                    ctx.access_batch(0, &buf);
+                    buf.clear();
+                    ctx.compute(0, ip_loop, 4 * pending, pending);
+                    pending = 0;
+                }
+            }
+            if pending > 0 {
+                ctx.access_batch(0, &buf);
+                buf.clear();
+                ctx.compute(0, ip_loop, 4 * pending, pending);
             }
             ctx.exit(0, "triad");
         }
