@@ -1,0 +1,175 @@
+//! Trace-store query throughput: the chunked binary `.mps` container
+//! against the text `.prv` parse path, on a selective window query
+//! over a STREAM-triad trace.
+//!
+//! Scenarios:
+//!
+//! * `prv_parse_filter` — parse the whole text trace, then filter
+//!   linearly (the pre-store baseline every analysis paid);
+//! * `mps_cold_scan` — fresh `StoreReader` per trial: footer pruning
+//!   plus chunk decode for the surviving chunks;
+//! * `mps_cached_scan` — the same reader re-queried: every surviving
+//!   chunk served from the sharded block cache, no codec work;
+//! * `mps_parallel_scan` — cold scan with the surviving chunks spread
+//!   over 4 worker threads.
+//!
+//! Writes `BENCH_store.json`; the acceptance gate is
+//! `cached_vs_cold_speedup > 1`.
+
+use mempersp_core::{Machine, MachineConfig};
+use mempersp_extrae::query::{EventClass, Query};
+use mempersp_extrae::trace_format::{load_trace, save_trace};
+use mempersp_store::{write_store, StoreReader};
+use mempersp_workloads::StreamTriad;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Measure {
+    name: &'static str,
+    /// Events the scenario's answer contained.
+    matched: u64,
+    seconds: f64,
+}
+
+impl Measure {
+    fn per_sec(&self) -> f64 {
+        self.matched as f64 / self.seconds
+    }
+}
+
+/// Run a scenario `n` times and keep the fastest trial.
+fn best_of(n: usize, mut f: impl FnMut() -> Measure) -> Measure {
+    let mut best = f();
+    for _ in 1..n {
+        let m = f();
+        if m.seconds < best.seconds {
+            best = m;
+        }
+    }
+    best
+}
+
+fn main() {
+    // One mid-size trace, written in both containers.
+    let mut mcfg = MachineConfig::small();
+    mcfg.cores = 2;
+    mcfg.counter_sample_period = mcfg.counter_sample_period.min(20_000);
+    let mut w = StreamTriad::new(1 << 17, 4);
+    let report = Machine::new(mcfg).run(&mut w);
+    let dir = std::env::temp_dir().join(format!("mempersp_bench_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prv = dir.join("bench.prv");
+    let mps = dir.join("bench.mps");
+    save_trace(&prv, &report.trace).expect("write prv");
+    let summary = write_store(&mps, &report.trace).expect("write mps");
+    let span = report.trace.events.last().map(|e| e.cycles).unwrap_or(0);
+
+    // A selective query: PEBS samples in the middle quarter of the run
+    // — the shape of a "zoom into one phase" analysis.
+    let q = Query::all().in_time(span / 2, span / 2 + span / 4).with_kinds(&[EventClass::Pebs]);
+
+    const TRIALS: usize = 5;
+    let prv_parse = best_of(TRIALS, || {
+        let t = Instant::now();
+        let parsed = load_trace(&prv).expect("parse");
+        let matched = parsed.events.iter().filter(|e| q.matches(e)).count() as u64;
+        black_box(&parsed);
+        Measure { name: "prv_parse_filter", matched, seconds: t.elapsed().as_secs_f64() }
+    });
+
+    let mut cold_stats = None;
+    let cold = best_of(TRIALS, || {
+        let reader = StoreReader::open(&mps).expect("open");
+        let t = Instant::now();
+        let (events, stats) = reader.query(&q).expect("query");
+        let m = Measure {
+            name: "mps_cold_scan",
+            matched: events.len() as u64,
+            seconds: t.elapsed().as_secs_f64(),
+        };
+        black_box(events);
+        cold_stats = Some(stats);
+        m
+    });
+
+    let warm_reader = StoreReader::open(&mps).expect("open");
+    let (first, _) = warm_reader.query(&q).expect("warm-up query");
+    black_box(first);
+    let cached = best_of(TRIALS, || {
+        let t = Instant::now();
+        let (events, stats) = warm_reader.query(&q).expect("query");
+        assert_eq!(stats.chunks_decoded, 0, "cached scan must not decode");
+        let m = Measure {
+            name: "mps_cached_scan",
+            matched: events.len() as u64,
+            seconds: t.elapsed().as_secs_f64(),
+        };
+        black_box(events);
+        m
+    });
+
+    let parallel = best_of(TRIALS, || {
+        let reader = StoreReader::open(&mps).expect("open");
+        let t = Instant::now();
+        let (events, _) = reader.query_parallel(&q, 4).expect("query");
+        let m = Measure {
+            name: "mps_parallel_scan",
+            matched: events.len() as u64,
+            seconds: t.elapsed().as_secs_f64(),
+        };
+        black_box(events);
+        m
+    });
+
+    assert_eq!(prv_parse.matched, cold.matched, "containers must agree");
+    assert_eq!(cold.matched, cached.matched);
+    assert_eq!(cold.matched, parallel.matched);
+
+    let measures = [&prv_parse, &cold, &cached, &parallel];
+    let mut scenarios = Vec::new();
+    for m in measures {
+        println!(
+            "{:<18} {:>9} matched {:>9.5}s {:>10.2} K matches/s",
+            m.name,
+            m.matched,
+            m.seconds,
+            m.per_sec() / 1e3
+        );
+        scenarios.push(serde_json::json!({
+            "name": m.name,
+            "matched_events": m.matched,
+            "seconds": m.seconds,
+            "matches_per_sec": m.per_sec(),
+        }));
+    }
+    let stats = cold_stats.expect("cold scan ran");
+    let cold_vs_prv = prv_parse.seconds / cold.seconds;
+    let cached_vs_cold = cold.seconds / cached.seconds;
+    println!(
+        "pruning: {} decoded / {} skipped chunks ({} total, {} events in store)",
+        stats.chunks_decoded,
+        stats.chunks_skipped,
+        summary.chunks,
+        summary.events
+    );
+    println!("cold store scan vs prv parse+filter: {cold_vs_prv:.2}x");
+    println!("cached re-query vs cold scan:        {cached_vs_cold:.2}x");
+
+    let out = serde_json::json!({
+        "bench": "store_scan",
+        "trace_events": summary.events,
+        "chunks": summary.chunks,
+        "raw_bytes": summary.raw_bytes,
+        "stored_bytes": summary.stored_bytes,
+        "query_chunks_decoded": stats.chunks_decoded,
+        "query_chunks_skipped": stats.chunks_skipped,
+        "scenarios": scenarios,
+        "cold_vs_prv_speedup": cold_vs_prv,
+        "cached_vs_cold_speedup": cached_vs_cold,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(path, serde_json::to_string_pretty(&out).expect("serialize"))
+        .expect("write BENCH_store.json");
+    println!("wrote {path}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,6 +3,8 @@
 //! read during the execution phase, and for the data-source/latency
 //! breakdown per structure.
 
+use mempersp_extrae::query::{EventClass, Query};
+use mempersp_extrae::trace_source::{ScanStats, TraceSource};
 use mempersp_extrae::{ObjectId, Trace};
 use mempersp_memsim::MemLevel;
 use serde::{Deserialize, Serialize};
@@ -116,6 +118,25 @@ pub fn object_stats(trace: &Trace, window: Option<(u64, u64)>) -> Vec<ObjectStat
         .collect();
     out.sort_by_key(|s| std::cmp::Reverse(s.total()));
     out
+}
+
+/// [`object_stats`] over any [`TraceSource`]. Only PEBS events — the
+/// single kind this analysis reads — are pulled from the source, and
+/// the window (when given) is pushed down as a time predicate, so an
+/// indexed `.mps` store decodes only the chunks that can contribute.
+/// Returns the stats together with the scan's cost accounting.
+pub fn object_stats_source(
+    source: &mut dyn TraceSource,
+    window: Option<(u64, u64)>,
+) -> std::io::Result<(Vec<ObjectStat>, ScanStats)> {
+    let mut q = Query::all().with_kinds(&[EventClass::Pebs]);
+    if let Some((lo, hi)) = window {
+        // PEBS events carry `cycles == sample.timestamp`, so the
+        // envelope-time predicate is exactly the sample window.
+        q = q.in_time(lo, hi);
+    }
+    let (trace, stats) = source.filtered(&q)?;
+    Ok((object_stats(&trace, window), stats))
 }
 
 /// The fraction of samples that resolved to an object (the paper's

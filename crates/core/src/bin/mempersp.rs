@@ -6,21 +6,29 @@
 //! mempersp info trace.prv
 //! mempersp objects trace.prv
 //! mempersp fold trace.prv --region CG_iteration [--csv-dir target/fig1]
+//! mempersp convert trace.prv -o trace.mps   # and back: trace.mps -o out.prv
+//! mempersp query trace.mps --time 0:100000 --kinds PEBS --stats
 //! ```
 //!
 //! Mirrors the real tool-chain: Extrae writes a trace; the Folding
-//! tool consumes it post-mortem.
+//! tool consumes it post-mortem. Every analysis subcommand accepts
+//! either the text `.prv` trace or the chunked binary `.mps` store
+//! (formats are sniffed, not guessed from the extension); on a store,
+//! selective analyses decode only the chunks their predicates touch.
 
 use mempersp_core::analysis::latency::latency_profile;
-use mempersp_core::analysis::objects::object_stats;
+use mempersp_core::analysis::objects::object_stats_source;
 use mempersp_core::analysis::phases::iteration_phases;
 use mempersp_core::analysis::reuse::sampled_reuse_histogram;
 use mempersp_core::report::{ascii, figure};
 use mempersp_core::{Machine, MachineConfig};
-use mempersp_extrae::trace_format::{load_trace, save_trace};
+use mempersp_extrae::query::{EventClass, Query};
+use mempersp_extrae::trace_format::{event_record, save_trace};
+use mempersp_extrae::trace_source::{ScanStats, TraceSource};
 use mempersp_extrae::{Trace, Workload};
-use mempersp_folding::{fold_region, FoldingConfig};
+use mempersp_folding::{fold_region_source, FoldingConfig};
 use mempersp_hpcg::{HpcgConfig, HpcgWorkload};
+use mempersp_store::{open_trace_source, write_store, MpsSource};
 use mempersp_workloads::{PointerChase, Stencil7, StreamTriad, TiledMatmul};
 use std::process::exit;
 
@@ -31,7 +39,11 @@ fn usage() -> ! {
          mempersp info <trace>\n  mempersp objects <trace>\n  \
          mempersp fold <trace> --region <name> [--csv-dir <dir>]\n  \
          mempersp export <trace> [--dir <dir>] [--prefix <name>]\n  \
-         mempersp profile <trace>"
+         mempersp profile <trace>\n  \
+         mempersp convert <trace> -o <out.prv|out.mps>\n  \
+         mempersp query <trace> [--time lo:hi] [--cores 0,2] [--kinds ENTER,PEBS] \
+         [--object N] [--threads N] [--print N] [--stats]\n\
+         \n  <trace> may be a text .prv trace or a binary .mps store."
     );
     exit(2);
 }
@@ -49,6 +61,8 @@ fn main() {
         Some("fold") => cmd_fold(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         _ => usage(),
     }
 }
@@ -76,7 +90,10 @@ fn cmd_export(args: &[String]) {
     let dir = arg_value(args, "--dir").unwrap_or_else(|| "paraver".into());
     let prefix = arg_value(args, "--prefix").unwrap_or_else(|| "trace".into());
     let files = mempersp_extrae::paraver::export_paraver(std::path::Path::new(&dir), &prefix, &t)
-        .expect("write paraver files");
+        .unwrap_or_else(|e| {
+            eprintln!("export failed: {e}");
+            exit(1);
+        });
     for f in files {
         println!("{}", f.display());
     }
@@ -141,15 +158,167 @@ fn cmd_run(args: &[String]) {
     eprintln!("trace written to {out}");
 }
 
+/// The first positional argument: the trace path. Flags that take a
+/// value consume the following argument, so `--time 0:1000 t.mps`
+/// resolves to `t.mps`, not `0:1000`.
+fn trace_path(args: &[String]) -> &String {
+    const BOOL_FLAGS: &[&str] = &["--stats", "--no-group", "--haswell"];
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "-o" || (a.starts_with("--") && !BOOL_FLAGS.contains(&a.as_str())) {
+            i += 2;
+        } else if a.starts_with('-') {
+            i += 1;
+        } else {
+            return a;
+        }
+    }
+    usage()
+}
+
+/// Open the trace as a [`TraceSource`], sniffing `.prv` vs `.mps`.
+fn load_source(args: &[String]) -> Box<dyn TraceSource> {
+    let path = trace_path(args);
+    open_trace_source(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    })
+}
+
+/// Fully materialize the trace (either format).
 fn load(args: &[String]) -> Trace {
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| usage());
-    load_trace(std::path::Path::new(path)).unwrap_or_else(|e| {
+    let path = trace_path(args);
+    load_source(args).materialize().unwrap_or_else(|e| {
         eprintln!("cannot load {path}: {e}");
         exit(1);
     })
+}
+
+fn print_scan_stats(stats: &ScanStats) {
+    eprintln!(
+        "scan: {} matched / {} scanned events; chunks: {} decoded, {} cached, {} skipped",
+        stats.events_matched,
+        stats.events_scanned,
+        stats.chunks_decoded,
+        stats.chunks_cached,
+        stats.chunks_skipped
+    );
+}
+
+/// Convert between the text `.prv` trace and the binary `.mps` store.
+/// The direction follows the *output* extension; the input format is
+/// sniffed, so `.mps → .mps` (re-chunking) and `.prv → .prv`
+/// (normalization) also work.
+fn cmd_convert(args: &[String]) {
+    let out = arg_value(args, "-o").unwrap_or_else(|| usage());
+    let t = load(args);
+    let out_path = std::path::Path::new(&out);
+    let result = if out.ends_with(".mps") {
+        write_store(out_path, &t).map(|s| {
+            eprintln!(
+                "wrote {} events in {} chunks ({} raw -> {} stored bytes)",
+                s.events, s.chunks, s.raw_bytes, s.stored_bytes
+            );
+        })
+    } else {
+        save_trace(out_path, &t)
+    };
+    if let Err(e) = result {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    }
+    eprintln!("converted {} -> {out}", trace_path(args));
+}
+
+fn parse_query(args: &[String]) -> Query {
+    let mut q = Query::all();
+    if let Some(t) = arg_value(args, "--time") {
+        let (lo, hi) = t
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .unwrap_or_else(|| {
+                eprintln!("--time expects <lo>:<hi> cycles, got {t:?}");
+                exit(2);
+            });
+        q = q.in_time(lo, hi);
+    }
+    if let Some(c) = arg_value(args, "--cores") {
+        let cores: Vec<usize> = c
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--cores expects a comma-separated list, got {c:?}");
+                    exit(2);
+                })
+            })
+            .collect();
+        q = q.on_cores(&cores);
+    }
+    if let Some(k) = arg_value(args, "--kinds") {
+        let kinds: Vec<EventClass> = k
+            .split(',')
+            .map(|s| {
+                EventClass::parse(s.trim()).unwrap_or_else(|| {
+                    eprintln!("unknown event kind {s:?} (expected e.g. ENTER, PEBS, ALLOC)");
+                    exit(2);
+                })
+            })
+            .collect();
+        q = q.with_kinds(&kinds);
+    }
+    if let Some(o) = arg_value(args, "--object") {
+        let id: u32 = o.parse().unwrap_or_else(|_| {
+            eprintln!("--object expects a numeric object id, got {o:?}");
+            exit(2);
+        });
+        q = q.touching_object(mempersp_extrae::ObjectId(id));
+    }
+    q
+}
+
+/// Run a predicate query against either trace format. On a store the
+/// footer index prunes chunks before any decode; `--threads` spreads
+/// the surviving chunks over a deterministic parallel scan.
+fn cmd_query(args: &[String]) {
+    let path = trace_path(args).clone();
+    let q = parse_query(args);
+    let threads: usize = arg_value(args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let print: usize = arg_value(args, "--print").and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    let p = std::path::Path::new(&path);
+    let (events, stats) = match MpsSource::open(p) {
+        Ok(src) if threads > 1 => src.reader().query_parallel(&q, threads),
+        Ok(src) => src.reader().query(&q),
+        Err(_) => {
+            // Not a store: scan the parsed text trace through the
+            // same predicate path.
+            let mut src = load_source(args);
+            src.filtered(&q).map(|(t, s)| (t.events, s))
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("query failed on {path}: {e}");
+        exit(1);
+    });
+
+    let mut by_kind = [0u64; EventClass::ALL.len()];
+    for e in &events {
+        by_kind[EventClass::of(&e.payload) as usize] += 1;
+    }
+    println!("{} matching events", events.len());
+    for kind in EventClass::ALL {
+        let n = by_kind[kind as usize];
+        if n > 0 {
+            println!("  {:<6} {n}", kind.label());
+        }
+    }
+    for e in events.iter().take(print) {
+        println!("{}", event_record(e));
+    }
+    if args.iter().any(|a| a == "--stats") {
+        print_scan_stats(&stats);
+    }
 }
 
 fn cmd_info(args: &[String]) {
@@ -172,8 +341,11 @@ fn cmd_info(args: &[String]) {
 }
 
 fn cmd_objects(args: &[String]) {
-    let t = load(args);
-    let stats = object_stats(&t, None);
+    let mut src = load_source(args);
+    let (stats, scan) = object_stats_source(src.as_mut(), None).unwrap_or_else(|e| {
+        eprintln!("cannot scan {}: {e}", trace_path(args));
+        exit(1);
+    });
     println!(
         "{:<44} {:>8} {:>8} {:>9} {:>8}",
         "object", "loads", "stores", "mean lat", "flags"
@@ -188,18 +360,27 @@ fn cmd_objects(args: &[String]) {
             if o.is_read_only() { "RO" } else { "" }
         );
     }
-    if let Some(p) = latency_profile(&t, None, false) {
-        println!(
-            "\nload latency: min {} p50 {} p90 {} p99 {} max {} (mean {:.1})",
-            p.min, p.p50, p.p90, p.p99, p.max, p.mean
-        );
+    // The PEBS-only re-read is served from the store's block cache
+    // after the scan above (free on a parsed .prv).
+    let pebs_only = Query::all().with_kinds(&[EventClass::Pebs]);
+    if let Ok((t, _)) = src.filtered(&pebs_only) {
+        if let Some(p) = latency_profile(&t, None, false) {
+            println!(
+                "\nload latency: min {} p50 {} p90 {} p99 {} max {} (mean {:.1})",
+                p.min, p.p50, p.p90, p.p99, p.max, p.mean
+            );
+        }
+    }
+    if args.iter().any(|a| a == "--stats") {
+        print_scan_stats(&scan);
     }
 }
 
 fn cmd_fold(args: &[String]) {
-    let t = load(args);
+    let mut src = load_source(args);
     let region = arg_value(args, "--region").unwrap_or_else(|| usage());
-    let folded = match fold_region(&t, &region, &FoldingConfig::default()) {
+    let (folded, _scan) = match fold_region_source(src.as_mut(), &region, &FoldingConfig::default())
+    {
         Ok(f) => f,
         Err(e) => {
             eprintln!("fold failed: {e}");
@@ -217,6 +398,12 @@ fn cmd_fold(args: &[String]) {
     print!("{}", ascii::performance_panel(&folded, 80));
 
     if let Some(dir) = arg_value(args, "--csv-dir") {
+        // The figure bundle wants the whole trace, not just the
+        // folded kinds.
+        let t = src.materialize().unwrap_or_else(|e| {
+            eprintln!("cannot load {}: {e}", trace_path(args));
+            exit(1);
+        });
         let phases = iteration_phases(&t, &region, "ComputeSYMGS_ref", "ComputeSPMV_ref", 0);
         let files = figure::write_figure_bundle(
             std::path::Path::new(&dir),

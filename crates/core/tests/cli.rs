@@ -110,6 +110,74 @@ fn fold_unknown_region_fails_cleanly() {
 }
 
 #[test]
+fn convert_round_trip_is_byte_identical_and_queries_work() {
+    let dir = tmpdir();
+    let prv = dir.join("rt.prv");
+    let mps = dir.join("rt.mps");
+    let back = dir.join("rt_back.prv");
+
+    let out = bin()
+        .args(["run", "--workload", "stream", "--nx", "32", "-o"])
+        .arg(&prv)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // prv -> mps -> prv reproduces the text trace exactly.
+    let out = bin().args(["convert"]).arg(&prv).arg("-o").arg(&mps).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = bin().args(["convert"]).arg(&mps).arg("-o").arg(&back).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&prv).unwrap(),
+        std::fs::read(&back).unwrap(),
+        "prv -> mps -> prv must be byte-identical"
+    );
+
+    // The same query answers identically on both containers.
+    let q = ["query", "--kinds", "PEBS,ALLOC", "--stats"];
+    let on_prv = bin().args(q).arg(&prv).output().unwrap();
+    let on_mps = bin().args(q).arg(&mps).output().unwrap();
+    assert!(on_prv.status.success() && on_mps.status.success());
+    assert_eq!(on_prv.stdout, on_mps.stdout, "query results must not depend on the container");
+    let text = String::from_utf8_lossy(&on_mps.stdout);
+    assert!(text.contains("matching events"), "{text}");
+    assert!(text.contains("PEBS"), "{text}");
+
+    // Analyses accept the store directly.
+    let out = bin().arg("info").arg(&mps).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("STREAM"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_time_window_prunes_chunks_on_a_store() {
+    let dir = tmpdir();
+    let prv = dir.join("w.prv");
+    let mps = dir.join("w.mps");
+    let out = bin()
+        .args(["run", "--workload", "stream", "--nx", "64", "-o"])
+        .arg(&prv)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin().args(["convert"]).arg(&prv).arg("-o").arg(&mps).output().unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["query", "--time", "0:1000", "--stats", "--threads", "2"])
+        .arg(&mps)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skipped"), "stats line present: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_2() {
     let out = bin().output().unwrap();
     assert_eq!(out.status.code(), Some(2));

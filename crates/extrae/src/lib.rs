@@ -32,15 +32,20 @@ pub mod events;
 pub mod harness;
 pub mod objects;
 pub mod paraver;
+pub mod query;
 pub mod sim_alloc;
 pub mod source;
 pub mod stream_writer;
 pub mod trace_format;
+pub mod trace_source;
 pub mod tracer;
 
 pub use events::{EventPayload, TraceEvent};
 pub use harness::{AppContext, MemRequest, NullContext, Workload};
 pub use objects::{ObjectId, ObjectKind, ObjectRegistry, ResolvedObject};
+pub use query::{EventClass, KindMask, Query};
 pub use sim_alloc::SimAllocator;
 pub use source::{CodeLocation, Ip, SourceMap};
+pub use stream_writer::{EventSink, StreamWriter};
+pub use trace_source::{MaterializedSource, ScanStats, TraceSource};
 pub use tracer::{Trace, TraceMeta, Tracer, TracerConfig};

@@ -191,16 +191,25 @@ pub fn to_row(trace: &Trace) -> String {
     out
 }
 
+/// `std::fs::write` with the destination path folded into the error,
+/// so a failed export names the file instead of a bare "permission
+/// denied".
+fn write_named(path: &std::path::Path, contents: String) -> std::io::Result<()> {
+    std::fs::write(path, contents)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("writing {}: {e}", path.display())))
+}
+
 /// Write the three Paraver files with a common `prefix`
 /// (`prefix.prv`, `prefix.pcf`, `prefix.row`).
 pub fn export_paraver(dir: &std::path::Path, prefix: &str, trace: &Trace) -> std::io::Result<[std::path::PathBuf; 3]> {
-    std::fs::create_dir_all(dir)?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("creating {}: {e}", dir.display())))?;
     let prv = dir.join(format!("{prefix}.prv"));
     let pcf = dir.join(format!("{prefix}.pcf"));
     let row = dir.join(format!("{prefix}.row"));
-    std::fs::write(&prv, to_prv(trace))?;
-    std::fs::write(&pcf, to_pcf(trace))?;
-    std::fs::write(&row, to_row(trace))?;
+    write_named(&prv, to_prv(trace))?;
+    write_named(&pcf, to_pcf(trace))?;
+    write_named(&row, to_row(trace))?;
     Ok([prv, pcf, row])
 }
 
@@ -288,6 +297,20 @@ mod tests {
             assert!(std::fs::metadata(f).unwrap().len() > 0);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_export_names_the_offending_path() {
+        let tr = sample_trace();
+        // A directory that cannot be created: a path through a file.
+        let dir = std::env::temp_dir().join(format!("mempersp_paraver_block_{}", std::process::id()));
+        std::fs::write(&dir, "i am a file").unwrap();
+        let err = export_paraver(&dir.join("sub"), "t", &tr).unwrap_err();
+        assert!(
+            err.to_string().contains("sub"),
+            "error should name the path: {err}"
+        );
+        std::fs::remove_file(&dir).ok();
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   header sections (which are only complete at the end of the run —
 //!   symbols, objects, region names) to the streamed event body,
 //!   producing a file that [`crate::trace_format::parse_trace`]
-//!   accepts.
+//!   accepts, then removes the intermediate body file;
+//! * an optional [`EventSink`] receives every event in parallel with
+//!   the text body — this is how a run streams a binary `.mps` store
+//!   (crate `mempersp-store`) alongside the `.prv` without a second
+//!   pass over the data.
 
 use crate::events::TraceEvent;
 use crate::tracer::Trace;
@@ -22,32 +26,76 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::thread::JoinHandle;
 
+/// A secondary consumer of the streamed events, driven from the
+/// writer's background thread. Implemented by the binary trace store's
+/// writer so a monitored run can emit `.prv` and `.mps` in one pass.
+pub trait EventSink: Send {
+    /// Consume one event, in stream order.
+    fn append_event(&mut self, event: &TraceEvent) -> std::io::Result<()>;
+
+    /// The run is over and the header information (symbols, objects,
+    /// region names) is finally complete; seal the container.
+    fn finish(&mut self, trace_for_header: &Trace) -> std::io::Result<()>;
+}
+
 enum Msg {
-    Line(String),
+    Event(TraceEvent),
     Flush,
     Done,
+}
+
+struct WorkerResult {
+    lines: u64,
+    sink: Option<Box<dyn EventSink>>,
 }
 
 /// Background streaming writer of trace event records.
 pub struct StreamWriter {
     tx: Sender<Msg>,
-    worker: Option<JoinHandle<std::io::Result<u64>>>,
+    worker: Option<JoinHandle<std::io::Result<WorkerResult>>>,
     body_path: PathBuf,
 }
 
 impl StreamWriter {
     /// Start the writer; event records stream into `body_path`
     /// (an intermediate file, analogous to Extrae's `.mpit`).
+    ///
+    /// Errors if `body_path` already exists: an intermediate file is
+    /// owned by exactly one run, and clobbering a previous run's body
+    /// (or, worse, a file the user cares about) would corrupt it
+    /// silently.
     pub fn create(body_path: &Path, queue_depth: usize) -> std::io::Result<Self> {
-        let file = std::fs::File::create(body_path)?;
+        Self::create_with_sink(body_path, queue_depth, None)
+    }
+
+    /// Like [`StreamWriter::create`], additionally teeing every event
+    /// into `sink` from the background thread.
+    pub fn create_with_sink(
+        body_path: &Path,
+        queue_depth: usize,
+        mut sink: Option<Box<dyn EventSink>>,
+    ) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(body_path)
+            .map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("intermediate trace body {}: {e}", body_path.display()),
+                )
+            })?;
         let mut out = std::io::BufWriter::new(file);
         let (tx, rx) = bounded::<Msg>(queue_depth.max(1));
-        let worker = std::thread::spawn(move || -> std::io::Result<u64> {
+        let worker = std::thread::spawn(move || -> std::io::Result<WorkerResult> {
             let mut lines = 0u64;
             for msg in rx {
                 match msg {
-                    Msg::Line(l) => {
-                        out.write_all(l.as_bytes())?;
+                    Msg::Event(e) => {
+                        out.write_all(crate::trace_format::event_record(&e).as_bytes())?;
+                        if let Some(s) = sink.as_mut() {
+                            s.append_event(&e)?;
+                        }
                         lines += 1;
                     }
                     Msg::Flush => out.flush()?,
@@ -55,7 +103,7 @@ impl StreamWriter {
                 }
             }
             out.flush()?;
-            Ok(lines)
+            Ok(WorkerResult { lines, sink })
         });
         Ok(Self { tx, worker: Some(worker), body_path: body_path.to_path_buf() })
     }
@@ -64,8 +112,7 @@ impl StreamWriter {
     /// Blocks when the queue is full — the monitored application
     /// experiences back-pressure exactly like a real flush stall.
     pub fn append(&self, event: &TraceEvent) {
-        let line = crate::trace_format::event_record(event);
-        self.tx.send(Msg::Line(line)).expect("writer thread alive");
+        self.tx.send(Msg::Event(event.clone())).expect("writer thread alive");
     }
 
     /// Ask the worker to flush its file buffer.
@@ -74,12 +121,14 @@ impl StreamWriter {
     }
 
     /// Stop the worker and merge header + streamed body into
-    /// `final_path`. The `trace` provides the header sections (its
-    /// own event list is ignored — the streamed body is the record of
-    /// truth). Returns the number of streamed event records.
+    /// `final_path`; the intermediate body file is removed afterwards.
+    /// The `trace` provides the header sections (its own event list is
+    /// ignored — the streamed body is the record of truth). If a sink
+    /// was attached, it is sealed with the same header information.
+    /// Returns the number of streamed event records.
     pub fn finalize(mut self, trace_for_header: &Trace, final_path: &Path) -> std::io::Result<u64> {
         self.tx.send(Msg::Done).expect("writer thread alive");
-        let lines = self
+        let WorkerResult { lines, mut sink } = self
             .worker
             .take()
             .expect("finalize called once")
@@ -91,6 +140,13 @@ impl StreamWriter {
         let mut out = std::fs::File::create(final_path)?;
         out.write_all(header.as_bytes())?;
         out.write_all(body.as_bytes())?;
+        drop(out);
+        if let Some(s) = sink.as_mut() {
+            s.finish(trace_for_header)?;
+        }
+        // The merger consumed the intermediate file; leaving it behind
+        // doubles the disk footprint of every run.
+        std::fs::remove_file(&self.body_path)?;
         Ok(lines)
     }
 }
@@ -112,7 +168,7 @@ mod tests {
     use mempersp_pebs::CounterSnapshot;
 
     #[test]
-    fn streamed_trace_parses_back() {
+    fn streamed_trace_parses_back_and_body_is_removed() {
         let dir = std::env::temp_dir().join(format!("mempersp_stream_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let body = dir.join("body.mpit");
@@ -139,6 +195,22 @@ mod tests {
         let loaded = crate::trace_format::load_trace(&final_prv).unwrap();
         assert_eq!(loaded.events, trace.events);
         assert_eq!(loaded.region_names, trace.region_names);
+        assert!(!body.exists(), "intermediate body removed after merge");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn existing_body_file_is_not_clobbered() {
+        let dir = std::env::temp_dir().join(format!("mempersp_stream3_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let body = dir.join("body.mpit");
+        std::fs::write(&body, "precious bytes").unwrap();
+        let err = match StreamWriter::create(&body, 4) {
+            Ok(_) => panic!("create must refuse an existing body file"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("body.mpit"), "error names the file: {err}");
+        assert_eq!(std::fs::read_to_string(&body).unwrap(), "precious bytes");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -155,6 +227,53 @@ mod tests {
             writer.flush();
             // dropped here
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A sink that counts events and records sealing.
+    struct CountingSink {
+        count: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        finished: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl EventSink for CountingSink {
+        fn append_event(&mut self, _event: &TraceEvent) -> std::io::Result<()> {
+            self.count.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }
+
+        fn finish(&mut self, trace_for_header: &Trace) -> std::io::Result<()> {
+            assert!(!trace_for_header.region_names.is_empty());
+            self.finished.store(true, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_event_and_is_sealed() {
+        let dir = std::env::temp_dir().join(format!("mempersp_stream4_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let body = dir.join("body.mpit");
+        let final_prv = dir.join("final.prv");
+        let count = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let finished = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sink = CountingSink { count: count.clone(), finished: finished.clone() };
+
+        let writer = StreamWriter::create_with_sink(&body, 16, Some(Box::new(sink))).unwrap();
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let c = CounterSnapshot::default();
+        for i in 0..100u64 {
+            t.enter(0, "R", c, i * 10);
+            t.exit(0, "R", c, i * 10 + 5);
+        }
+        let trace = t.finish("teed");
+        for e in &trace.events {
+            writer.append(e);
+        }
+        let lines = writer.finalize(&trace, &final_prv).unwrap();
+        assert_eq!(lines, 200);
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 200);
+        assert!(finished.load(std::sync::atomic::Ordering::SeqCst));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,190 @@
+//! Format-independent access to a stored trace.
+//!
+//! The suite has two trace containers: the line-oriented text format
+//! (`.prv`, [`crate::trace_format`]) which must be parsed in full, and
+//! the chunked binary store (`.mps`, crate `mempersp-store`) which
+//! supports out-of-core, index-pruned scans. [`TraceSource`] is the
+//! seam the consumers (folding, the analyses, the CLI) program
+//! against so they accept either.
+//!
+//! A source separates the *header* — metadata, region names, symbol
+//! map, object registry, resolution counters; small, always resident —
+//! from the *event stream*, which may be orders of magnitude larger
+//! and is only touched through [`TraceSource::scan`] with a [`Query`].
+
+use crate::query::Query;
+use crate::tracer::Trace;
+use std::io;
+
+/// Cost accounting of one [`TraceSource::scan`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Events that matched the query and were delivered to the sink.
+    pub events_matched: u64,
+    /// Events the scan had to inspect (decoded or iterated).
+    pub events_scanned: u64,
+    /// Chunks whose payload was decoded for this scan (0 for
+    /// in-memory sources; cache hits do not count as decodes).
+    pub chunks_decoded: u64,
+    /// Chunks the footer index proved could not match — skipped
+    /// without touching their bytes.
+    pub chunks_skipped: u64,
+    /// Chunks served from the block cache without decoding.
+    pub chunks_cached: u64,
+}
+
+/// A trace opened for reading, independent of its container format.
+pub trait TraceSource {
+    /// The header as a [`Trace`] with an **empty** event list: meta,
+    /// region names, source map, object registry and resolution stats
+    /// are populated; `events` is empty.
+    fn header(&mut self) -> io::Result<Trace>;
+
+    /// Stream every event matching `query`, in trace order, into
+    /// `sink`. Returns what the scan cost.
+    fn scan(
+        &mut self,
+        query: &Query,
+        sink: &mut dyn FnMut(crate::events::TraceEvent),
+    ) -> io::Result<ScanStats>;
+
+    /// A human-readable name of the backing container ("prv", "mps").
+    fn format_name(&self) -> &'static str;
+
+    /// Materialize the whole trace in memory: header + full scan.
+    fn materialize(&mut self) -> io::Result<Trace> {
+        let (trace, _) = self.filtered(&Query::all())?;
+        Ok(trace)
+    }
+
+    /// Materialize a query-filtered trace: the full header plus only
+    /// the matching events. This is the bridge that lets event-list
+    /// consumers (folding, analyses) run out-of-core sources without
+    /// paying for the events they would ignore.
+    fn filtered(&mut self, query: &Query) -> io::Result<(Trace, ScanStats)> {
+        let mut trace = self.header()?;
+        let mut events = Vec::new();
+        let stats = self.scan(query, &mut |e| events.push(e))?;
+        trace.events = events;
+        Ok((trace, stats))
+    }
+}
+
+/// A fully-parsed in-memory trace acting as a source (the `.prv`
+/// path, and the natural wrapper for a trace produced by a live run).
+pub struct MaterializedSource {
+    trace: Trace,
+    format: &'static str,
+}
+
+impl MaterializedSource {
+    pub fn new(trace: Trace) -> Self {
+        Self { trace, format: "prv" }
+    }
+
+    /// Same, but reporting a different container name.
+    pub fn with_format(trace: Trace, format: &'static str) -> Self {
+        Self { trace, format }
+    }
+
+    /// Parse a `.prv` text trace from disk.
+    pub fn open(path: &std::path::Path) -> io::Result<Self> {
+        Ok(Self::new(crate::trace_format::load_trace(path)?))
+    }
+
+    /// The wrapped trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Unwrap.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl TraceSource for MaterializedSource {
+    fn header(&mut self) -> io::Result<Trace> {
+        let mut t = self.trace.clone();
+        t.events = Vec::new();
+        Ok(t)
+    }
+
+    fn scan(
+        &mut self,
+        query: &Query,
+        sink: &mut dyn FnMut(crate::events::TraceEvent),
+    ) -> io::Result<ScanStats> {
+        let mut stats = ScanStats { events_scanned: self.trace.events.len() as u64, ..Default::default() };
+        for e in &self.trace.events {
+            if query.matches(e) {
+                stats.events_matched += 1;
+                sink(e.clone());
+            }
+        }
+        Ok(stats)
+    }
+
+    fn format_name(&self) -> &'static str {
+        self.format
+    }
+
+    fn materialize(&mut self) -> io::Result<Trace> {
+        Ok(self.trace.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::EventClass;
+    use crate::tracer::{Tracer, TracerConfig};
+    use mempersp_pebs::CounterSnapshot;
+
+    fn trace() -> Trace {
+        let mut t = Tracer::new(TracerConfig::default(), 2);
+        let c = CounterSnapshot::default();
+        for i in 0..10u64 {
+            t.enter(0, "R", c, i * 100);
+            t.user_event(1, 1, i, i * 100 + 10);
+            t.exit(0, "R", c, i * 100 + 50);
+        }
+        t.finish("source test")
+    }
+
+    #[test]
+    fn header_carries_no_events() {
+        let mut s = MaterializedSource::new(trace());
+        let h = s.header().unwrap();
+        assert!(h.events.is_empty());
+        assert_eq!(h.region_names, vec!["R"]);
+        assert_eq!(h.meta.num_cores, 2);
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let t = trace();
+        let mut s = MaterializedSource::new(t.clone());
+        let m = s.materialize().unwrap();
+        assert_eq!(m.events, t.events);
+        assert_eq!(m.region_names, t.region_names);
+    }
+
+    #[test]
+    fn filtered_keeps_only_matches() {
+        let mut s = MaterializedSource::new(trace());
+        let q = Query::all().with_kinds(&[EventClass::User]).in_time(0, 550);
+        let (t, stats) = s.filtered(&q).unwrap();
+        assert_eq!(t.events.len(), 6, "user events at 10,110,...,510");
+        assert_eq!(stats.events_matched, 6);
+        assert_eq!(stats.events_scanned, 30);
+        assert_eq!(stats.chunks_decoded, 0, "in-memory source decodes nothing");
+        assert!(t.events.iter().all(|e| e.core == 1));
+    }
+
+    #[test]
+    fn format_name_reported() {
+        let s = MaterializedSource::new(trace());
+        assert_eq!(s.format_name(), "prv");
+    }
+}

@@ -4,6 +4,8 @@ use crate::curve::MonotoneCurve;
 use crate::instances::{collect_instances, InstanceFilter, RegionInstance};
 use crate::pava::pava_nondecreasing;
 use crate::pool::{pool_samples, PooledSamples};
+use mempersp_extrae::query::{EventClass, Query};
+use mempersp_extrae::trace_source::{ScanStats, TraceSource};
 use mempersp_extrae::Trace;
 use mempersp_pebs::EventKind;
 use serde::{Deserialize, Serialize};
@@ -51,6 +53,8 @@ pub enum FoldError {
     UnknownRegion(String),
     /// Fewer kept instances than `min_instances`.
     TooFewInstances { found: usize, need: usize },
+    /// Reading from the trace source failed (message of the I/O error).
+    Io(String),
 }
 
 impl std::fmt::Display for FoldError {
@@ -60,6 +64,7 @@ impl std::fmt::Display for FoldError {
             FoldError::TooFewInstances { found, need } => {
                 write!(f, "only {found} instance(s) kept, need {need}")
             }
+            FoldError::Io(msg) => write!(f, "trace source error: {msg}"),
         }
     }
 }
@@ -320,6 +325,26 @@ pub fn fold_region(trace: &Trace, region: &str, cfg: &FoldingConfig) -> Result<F
         counters,
         pooled,
     })
+}
+
+/// [`fold_region`] over any [`TraceSource`]. Only the event kinds
+/// folding consumes — region enter/exit, counter samples and PEBS
+/// samples — are pulled from the source, so an indexed `.mps` store
+/// skips chunks of pure allocation or mux traffic without decoding
+/// them. Returns the fold together with the scan's cost accounting.
+pub fn fold_region_source(
+    source: &mut dyn TraceSource,
+    region: &str,
+    cfg: &FoldingConfig,
+) -> Result<(FoldedRegion, ScanStats), FoldError> {
+    let q = Query::all().with_kinds(&[
+        EventClass::RegionEnter,
+        EventClass::RegionExit,
+        EventClass::CounterSample,
+        EventClass::Pebs,
+    ]);
+    let (trace, stats) = source.filtered(&q).map_err(|e| FoldError::Io(e.to_string()))?;
+    fold_region(&trace, region, cfg).map(|folded| (folded, stats))
 }
 
 fn average_total(instances: &[RegionInstance], kind: EventKind) -> f64 {

@@ -30,6 +30,9 @@ pub mod pool;
 
 pub use cluster::{cluster_by_duration, DurationCluster};
 pub use curve::MonotoneCurve;
-pub use fold::{fold_region, FitModel, FoldError, FoldedCounter, FoldedRegion, FoldingConfig};
+pub use fold::{
+    fold_region, fold_region_source, FitModel, FoldError, FoldedCounter, FoldedRegion,
+    FoldingConfig,
+};
 pub use instances::{collect_instances, InstanceFilter, RegionInstance};
 pub use pool::{AddrPoint, LinePoint, PooledSamples};

@@ -1,0 +1,174 @@
+//! A sharded LRU cache of decoded chunks.
+//!
+//! Chunk decode (LZ + varint) costs far more than the per-event
+//! predicate test, so repeated queries over the same region of a trace
+//! should pay it once. The cache is sharded — each shard is its own
+//! mutex + map — so the parallel scan path contends only when two
+//! workers touch chunks of the same shard, not on one global lock.
+//! Eviction is LRU per shard via monotone access stamps.
+
+use mempersp_extrae::events::TraceEvent;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of independent shards (lock domains).
+    pub shards: usize,
+    /// Decoded chunks retained per shard.
+    pub chunks_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // 8 × 8 = 64 resident chunks ≈ 4 MiB of raw payload at the
+        // default chunk target — bounded regardless of trace size.
+        CacheConfig { shards: 8, chunks_per_shard: 8 }
+    }
+}
+
+struct Shard {
+    /// chunk index → (last-access stamp, decoded events).
+    map: HashMap<usize, (u64, Arc<Vec<TraceEvent>>)>,
+    tick: u64,
+}
+
+/// Hit/miss counters, for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// The sharded block cache.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    cap_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedCache {
+    pub fn new(cfg: CacheConfig) -> ShardedCache {
+        let shards = cfg.shards.max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), tick: 0 }))
+                .collect(),
+            cap_per_shard: cfg.chunks_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: usize) -> &Mutex<Shard> {
+        &self.shards[key % self.shards.len()]
+    }
+
+    /// Look a chunk up, refreshing its recency on hit.
+    pub fn get(&self, key: usize) -> Option<Arc<Vec<TraceEvent>>> {
+        let mut s = self.shard(key).lock().expect("cache shard poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        match s.map.get_mut(&key) {
+            Some((stamp, v)) => {
+                *stamp = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a decoded chunk, evicting the shard's least-recently
+    /// used entry when full.
+    pub fn insert(&self, key: usize, value: Arc<Vec<TraceEvent>>) {
+        let mut s = self.shard(key).lock().expect("cache shard poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        if !s.map.contains_key(&key) && s.map.len() >= self.cap_per_shard {
+            if let Some((&victim, _)) = s.map.iter().min_by_key(|(_, (stamp, _))| *stamp) {
+                s.map.remove(&victim);
+            }
+        }
+        s.map.insert(key, (tick, value));
+    }
+
+    /// Entries currently resident (all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycles: u64) -> Arc<Vec<TraceEvent>> {
+        Arc::new(vec![TraceEvent {
+            cycles,
+            core: 0,
+            payload: mempersp_extrae::events::EventPayload::User { kind: 0, value: cycles },
+        }])
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = ShardedCache::new(CacheConfig { shards: 2, chunks_per_shard: 2 });
+        assert!(c.get(0).is_none());
+        c.insert(0, ev(0));
+        assert!(c.get(0).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        // One shard so every key collides into the same LRU domain.
+        let c = ShardedCache::new(CacheConfig { shards: 1, chunks_per_shard: 2 });
+        c.insert(1, ev(1));
+        c.insert(2, ev(2));
+        assert!(c.get(1).is_some(), "refresh 1 so 2 becomes LRU");
+        c.insert(3, ev(3));
+        assert!(c.get(2).is_none(), "2 was evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let c = ShardedCache::new(CacheConfig { shards: 1, chunks_per_shard: 2 });
+        c.insert(1, ev(1));
+        c.insert(2, ev(2));
+        c.insert(2, ev(22));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_some());
+        assert_eq!(c.get(2).unwrap()[0].cycles, 22);
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let c = ShardedCache::new(CacheConfig { shards: 4, chunks_per_shard: 1 });
+        for k in 0..4 {
+            c.insert(k, ev(k as u64));
+        }
+        assert_eq!(c.len(), 4, "one entry per shard, no cross-shard eviction");
+    }
+}

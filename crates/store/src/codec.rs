@@ -1,0 +1,351 @@
+//! The chunk payload codec: `Vec<TraceEvent>` ⇄ bytes.
+//!
+//! Events are encoded back-to-back with no framing beyond the event
+//! count carried in the chunk footer entry:
+//!
+//! ```text
+//! event := tag:u8                  (EventClass discriminant)
+//!          Δcycles:ivarint         (delta vs. previous event in chunk)
+//!          core:uvarint
+//!          payload                 (per tag, varint fields)
+//! ```
+//!
+//! Timestamps are delta-encoded because consecutive events are close
+//! in time — the deltas are tiny varints where absolute cycle counts
+//! would be 4–6 bytes each. Deltas are *signed*: a streamed body is
+//! written in emission order, which may interleave cores slightly out
+//! of global time order.
+
+use crate::varint::{get_bytes, get_i64, get_u64, put_bytes, put_i64, put_u64, CodecError};
+use mempersp_extrae::events::{EventPayload, RegionId, TraceEvent};
+use mempersp_extrae::objects::ObjectId;
+use mempersp_extrae::query::EventClass;
+use mempersp_extrae::source::Ip;
+use mempersp_memsim::MemLevel;
+use mempersp_pebs::{CounterSnapshot, EventKind, PebsSample};
+
+fn put_counters(out: &mut Vec<u8>, c: &CounterSnapshot) {
+    for v in c.values() {
+        put_u64(out, *v);
+    }
+}
+
+fn get_counters(buf: &[u8], pos: &mut usize) -> Result<CounterSnapshot, CodecError> {
+    let mut vals = [0u64; EventKind::ALL.len()];
+    for v in &mut vals {
+        *v = get_u64(buf, pos)?;
+    }
+    Ok(CounterSnapshot::from_values(vals))
+}
+
+fn level_code(l: MemLevel) -> u8 {
+    match l {
+        MemLevel::L1 => 0,
+        MemLevel::L2 => 1,
+        MemLevel::L3 => 2,
+        MemLevel::Dram => 3,
+    }
+}
+
+fn level_from(code: u8, at: usize) -> Result<MemLevel, CodecError> {
+    match code {
+        0 => Ok(MemLevel::L1),
+        1 => Ok(MemLevel::L2),
+        2 => Ok(MemLevel::L3),
+        3 => Ok(MemLevel::Dram),
+        other => Err(CodecError { offset: at, message: format!("bad memory level code {other}") }),
+    }
+}
+
+/// Append one event to `out`. `prev_cycles` is the running timestamp
+/// of the previous event in the same chunk (0 for the first) and is
+/// updated in place.
+pub fn encode_event(out: &mut Vec<u8>, e: &TraceEvent, prev_cycles: &mut u64) {
+    out.push(EventClass::of(&e.payload) as u8);
+    put_i64(out, e.cycles.wrapping_sub(*prev_cycles) as i64);
+    *prev_cycles = e.cycles;
+    put_u64(out, e.core as u64);
+    match &e.payload {
+        EventPayload::RegionEnter { region, counters }
+        | EventPayload::RegionExit { region, counters } => {
+            put_u64(out, region.0 as u64);
+            put_counters(out, counters);
+        }
+        EventPayload::CounterSample { ip, counters, stack } => {
+            put_u64(out, ip.0);
+            put_counters(out, counters);
+            put_u64(out, stack.len() as u64);
+            for r in stack {
+                put_u64(out, r.0 as u64);
+            }
+        }
+        EventPayload::Pebs { sample, object } => {
+            // timestamp and core are reconstructed from the event
+            // envelope; only the sample-specific fields are stored.
+            let flags = u8::from(sample.is_store)
+                | (u8::from(sample.tlb_miss) << 1)
+                | (u8::from(object.is_some()) << 2);
+            out.push(flags);
+            put_u64(out, sample.ip);
+            put_u64(out, sample.addr);
+            put_u64(out, sample.size as u64);
+            put_u64(out, sample.latency as u64);
+            out.push(level_code(sample.source));
+            if let Some(o) = object {
+                put_u64(out, o.0 as u64);
+            }
+        }
+        EventPayload::Alloc { base, size, callsite } => {
+            put_u64(out, *base);
+            put_u64(out, *size);
+            put_u64(out, callsite.0);
+        }
+        EventPayload::Free { base } => {
+            put_u64(out, *base);
+        }
+        EventPayload::MuxSwitch { event_index, label } => {
+            put_u64(out, *event_index as u64);
+            put_bytes(out, label.as_bytes());
+        }
+        EventPayload::User { kind, value } => {
+            put_u64(out, *kind as u64);
+            put_u64(out, *value);
+        }
+    }
+}
+
+/// Encode a whole chunk of events.
+pub fn encode_events(events: &[TraceEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 16);
+    let mut prev = 0u64;
+    for e in events {
+        encode_event(&mut out, e, &mut prev);
+    }
+    out
+}
+
+/// Decode exactly `count` events from `buf` (the whole chunk payload).
+pub fn decode_events(buf: &[u8], count: usize) -> Result<Vec<TraceEvent>, CodecError> {
+    let mut pos = 0usize;
+    let mut prev = 0u64;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(decode_event(buf, &mut pos, &mut prev)?);
+    }
+    if pos != buf.len() {
+        return Err(CodecError {
+            offset: pos,
+            message: format!("{} trailing bytes after final event", buf.len() - pos),
+        });
+    }
+    Ok(out)
+}
+
+fn decode_event(buf: &[u8], pos: &mut usize, prev_cycles: &mut u64) -> Result<TraceEvent, CodecError> {
+    let at = *pos;
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| CodecError { offset: at, message: "truncated event tag".into() })?;
+    *pos += 1;
+    let delta = get_i64(buf, pos)?;
+    let cycles = prev_cycles.wrapping_add(delta as u64);
+    *prev_cycles = cycles;
+    let core = get_u64(buf, pos)? as usize;
+    let payload = match tag {
+        t if t == EventClass::RegionEnter as u8 || t == EventClass::RegionExit as u8 => {
+            let region = RegionId(get_u64(buf, pos)? as u32);
+            let counters = get_counters(buf, pos)?;
+            if t == EventClass::RegionEnter as u8 {
+                EventPayload::RegionEnter { region, counters }
+            } else {
+                EventPayload::RegionExit { region, counters }
+            }
+        }
+        t if t == EventClass::CounterSample as u8 => {
+            let ip = Ip(get_u64(buf, pos)?);
+            let counters = get_counters(buf, pos)?;
+            let n = get_u64(buf, pos)? as usize;
+            if n > buf.len() {
+                return Err(CodecError { offset: at, message: format!("stack of {n} entries overruns chunk") });
+            }
+            let mut stack = Vec::with_capacity(n);
+            for _ in 0..n {
+                stack.push(RegionId(get_u64(buf, pos)? as u32));
+            }
+            EventPayload::CounterSample { ip, counters, stack }
+        }
+        t if t == EventClass::Pebs as u8 => {
+            let flags = *buf
+                .get(*pos)
+                .ok_or_else(|| CodecError { offset: *pos, message: "truncated PEBS flags".into() })?;
+            *pos += 1;
+            let ip = get_u64(buf, pos)?;
+            let addr = get_u64(buf, pos)?;
+            let size = get_u64(buf, pos)? as u32;
+            let latency = get_u64(buf, pos)? as u32;
+            let lvl = *buf
+                .get(*pos)
+                .ok_or_else(|| CodecError { offset: *pos, message: "truncated PEBS level".into() })?;
+            *pos += 1;
+            let source = level_from(lvl, *pos - 1)?;
+            let object = if flags & 0b100 != 0 {
+                Some(ObjectId(get_u64(buf, pos)? as u32))
+            } else {
+                None
+            };
+            EventPayload::Pebs {
+                sample: PebsSample {
+                    timestamp: cycles,
+                    core,
+                    ip,
+                    addr,
+                    size,
+                    is_store: flags & 0b001 != 0,
+                    latency,
+                    source,
+                    tlb_miss: flags & 0b010 != 0,
+                },
+                object,
+            }
+        }
+        t if t == EventClass::Alloc as u8 => EventPayload::Alloc {
+            base: get_u64(buf, pos)?,
+            size: get_u64(buf, pos)?,
+            callsite: Ip(get_u64(buf, pos)?),
+        },
+        t if t == EventClass::Free as u8 => EventPayload::Free { base: get_u64(buf, pos)? },
+        t if t == EventClass::MuxSwitch as u8 => {
+            let event_index = get_u64(buf, pos)? as usize;
+            let label = String::from_utf8(get_bytes(buf, pos)?.to_vec())
+                .map_err(|_| CodecError { offset: at, message: "mux label is not UTF-8".into() })?;
+            EventPayload::MuxSwitch { event_index, label }
+        }
+        t if t == EventClass::User as u8 => EventPayload::User {
+            kind: get_u64(buf, pos)? as u32,
+            value: get_u64(buf, pos)?,
+        },
+        other => {
+            return Err(CodecError { offset: at, message: format!("unknown event tag {other}") })
+        }
+    };
+    Ok(TraceEvent { cycles, core, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> Vec<TraceEvent> {
+        let c = CounterSnapshot::from_values([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        vec![
+            TraceEvent {
+                cycles: 1_000,
+                core: 0,
+                payload: EventPayload::RegionEnter { region: RegionId(3), counters: c },
+            },
+            TraceEvent {
+                cycles: 900, // out-of-order: negative delta
+                core: 1,
+                payload: EventPayload::CounterSample {
+                    ip: Ip(0x400010),
+                    counters: c,
+                    stack: vec![RegionId(0), RegionId(3)],
+                },
+            },
+            TraceEvent {
+                cycles: 1_100,
+                core: 1,
+                payload: EventPayload::Pebs {
+                    sample: PebsSample {
+                        timestamp: 1_100,
+                        core: 1,
+                        ip: 0x400020,
+                        addr: 0xDEAD_BEEF_00,
+                        size: 8,
+                        is_store: true,
+                        latency: 233,
+                        source: MemLevel::Dram,
+                        tlb_miss: true,
+                    },
+                    object: Some(ObjectId(7)),
+                },
+            },
+            TraceEvent {
+                cycles: 1_200,
+                core: 0,
+                payload: EventPayload::Alloc { base: 1 << 40, size: 4096, callsite: Ip(0x400030) },
+            },
+            TraceEvent { cycles: 1_300, core: 0, payload: EventPayload::Free { base: 1 << 40 } },
+            TraceEvent {
+                cycles: 1_400,
+                core: 2,
+                payload: EventPayload::MuxSwitch { event_index: 1, label: "stores — ω".into() },
+            },
+            TraceEvent { cycles: 1_500, core: 0, payload: EventPayload::User { kind: 9, value: u64::MAX } },
+            TraceEvent {
+                cycles: 1_600,
+                core: 3,
+                payload: EventPayload::RegionExit { region: RegionId(3), counters: c },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_payload_kind() {
+        let evs = events();
+        let buf = encode_events(&evs);
+        let back = decode_events(&buf, evs.len()).expect("decode");
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn pebs_envelope_reconstructed() {
+        let evs = events();
+        let buf = encode_events(&evs);
+        let back = decode_events(&buf, evs.len()).unwrap();
+        if let EventPayload::Pebs { sample, .. } = &back[2].payload {
+            assert_eq!(sample.timestamp, back[2].cycles);
+            assert_eq!(sample.core, back[2].core);
+        } else {
+            panic!("expected PEBS");
+        }
+    }
+
+    #[test]
+    fn wrong_count_is_rejected() {
+        let evs = events();
+        let buf = encode_events(&evs);
+        assert!(decode_events(&buf, evs.len() - 1).is_err(), "trailing bytes");
+        assert!(decode_events(&buf, evs.len() + 1).is_err(), "truncation");
+    }
+
+    #[test]
+    fn corrupt_tag_is_rejected() {
+        let evs = events();
+        let mut buf = encode_events(&evs);
+        buf[0] = 0xEE;
+        assert!(decode_events(&buf, evs.len()).is_err());
+    }
+
+    #[test]
+    fn empty_chunk() {
+        assert_eq!(encode_events(&[]), Vec::<u8>::new());
+        assert_eq!(decode_events(&[], 0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // Region events: tag + delta + core + region + 12 counters —
+        // small numbers, so well under the in-memory footprint.
+        let c = CounterSnapshot::from_values([100, 200, 10, 5, 2, 1, 40, 20, 0, 30, 15, 8]);
+        let evs: Vec<TraceEvent> = (0..1000)
+            .map(|i| TraceEvent {
+                cycles: i * 50,
+                core: (i % 4) as usize,
+                payload: EventPayload::RegionEnter { region: RegionId(1), counters: c },
+            })
+            .collect();
+        let buf = encode_events(&evs);
+        assert!(buf.len() < evs.len() * 24, "{} bytes for {} events", buf.len(), evs.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! Chunked, indexed binary trace store with cached out-of-core
+//! queries.
+//!
+//! The text `.prv` container the rest of the workspace emits is easy
+//! to inspect but expensive to analyze: every query re-parses the
+//! whole file. This crate adds a second container, `.mps`, built for
+//! the access pattern the memory-perspective analyses actually have —
+//! selective reads (one region, one object, one time window) over
+//! traces too large to keep parsed in memory:
+//!
+//! - [`codec`] — per-event varint encoding with zigzag timestamp
+//!   deltas; [`lz`] — an in-tree LZ77 pass over each chunk.
+//! - [`writer`] — [`writer::StoreWriter`] streams events into ~64 KiB
+//!   chunks, appending as it goes (O(chunk) memory), and seals the
+//!   file with a footer index + header blob. It implements
+//!   `mempersp_extrae::stream_writer::EventSink`, so a live
+//!   `StreamWriter` run can tee a binary store next to its text trace.
+//! - [`chunk`] — the per-chunk [`chunk::ChunkMeta`] footer entry:
+//!   time range, core bitmap, event-kind bitmap, object-id range.
+//! - [`reader`] — [`reader::StoreReader`] answers
+//!   `mempersp_extrae::query::Query`s by pruning chunks against the
+//!   footer (predicate pushdown), decoding survivors through a
+//!   sharded LRU [`cache`], optionally in parallel.
+//! - [`source`] — [`source::MpsSource`] plugs the store into the
+//!   `TraceSource` trait; [`source::open_trace_source`] sniffs the
+//!   file magic and serves either format.
+//!
+//! Round-trip guarantee: the store keeps the exact
+//! `header_sections()` text of the originating trace, and the chunk
+//! codec is lossless, so `prv → mps → prv` reproduces the text trace
+//! byte-identically.
+
+pub mod cache;
+pub mod chunk;
+pub mod codec;
+pub mod lz;
+pub mod reader;
+pub mod source;
+pub mod varint;
+pub mod writer;
+
+pub use cache::{CacheConfig, CacheStats, ShardedCache};
+pub use chunk::{ChunkMeta, Compression};
+pub use reader::StoreReader;
+pub use source::{open_trace_source, MpsSource};
+pub use varint::CodecError;
+pub use writer::{write_store, write_store_chunked, StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES};

@@ -1,0 +1,397 @@
+//! The out-of-core store reader.
+//!
+//! [`StoreReader::open`] reads only the footer — the fixed trailer,
+//! the chunk index and the (small) header blob; chunk payloads stay on
+//! disk until a query needs them. [`StoreReader::query`] walks the
+//! index, skips every chunk whose [`ChunkMeta`] proves it cannot
+//! match, and decodes the survivors through the sharded LRU block
+//! cache. [`StoreReader::query_parallel`] fans the surviving chunks
+//! out over worker threads (the CLI reuses the `--threads` knob),
+//! preserving trace order in the merged result.
+
+use crate::cache::{CacheConfig, CacheStats, ShardedCache};
+use crate::chunk::{ChunkMeta, Compression};
+use crate::codec::decode_events;
+use crate::lz;
+use crate::varint::get_u64;
+use crate::writer::{MAGIC, TRAILER_MAGIC};
+use mempersp_extrae::events::TraceEvent;
+use mempersp_extrae::query::Query;
+use mempersp_extrae::trace_source::ScanStats;
+use mempersp_extrae::tracer::Trace;
+use std::io::{self, Read as _, Seek as _, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A store opened for querying. Cheap to open; thread-safe (`&self`
+/// queries may run concurrently).
+pub struct StoreReader {
+    file: Mutex<std::fs::File>,
+    metas: Vec<ChunkMeta>,
+    /// Parsed header: meta, region names, symbols, objects,
+    /// resolution — with an empty event list.
+    header: Trace,
+    cache: ShardedCache,
+    /// Lifetime count of chunk payloads actually decoded (cache
+    /// misses); the acceptance counter for "decoded strictly fewer
+    /// chunks than a full scan".
+    decoded_total: AtomicU64,
+}
+
+impl StoreReader {
+    /// Open with the default cache configuration.
+    pub fn open(path: &Path) -> io::Result<StoreReader> {
+        Self::open_with(path, CacheConfig::default())
+    }
+
+    /// Open with explicit cache sizing.
+    pub fn open_with(path: &Path, cache: CacheConfig) -> io::Result<StoreReader> {
+        let mut file = std::fs::File::open(path).map_err(|e| {
+            io::Error::new(e.kind(), format!("opening store {}: {e}", path.display()))
+        })?;
+        let len = file.metadata()?.len();
+        let min = (MAGIC.len() + 16) as u64;
+        if len < min {
+            return Err(bad_data(format!("{}: too short for a store file", path.display())));
+        }
+
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad_data(format!("{}: not a trace store (bad magic)", path.display())));
+        }
+
+        // Trailer: index offset + trailing magic.
+        file.seek(SeekFrom::End(-16))?;
+        let mut trailer = [0u8; 16];
+        file.read_exact(&mut trailer)?;
+        if &trailer[8..] != TRAILER_MAGIC {
+            return Err(bad_data(format!(
+                "{}: truncated store (missing trailer — writer not finalized?)",
+                path.display()
+            )));
+        }
+        let index_off = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        if index_off < MAGIC.len() as u64 || index_off > len - 16 {
+            return Err(bad_data(format!("{}: index offset out of bounds", path.display())));
+        }
+
+        // Footer index.
+        file.seek(SeekFrom::Start(index_off))?;
+        let mut index = vec![0u8; (len - 16 - index_off) as usize];
+        file.read_exact(&mut index)?;
+        let mut pos = 0usize;
+        let count = get_u64(&index, &mut pos)? as usize;
+        if count > (len / 8) as usize {
+            return Err(bad_data(format!("{}: implausible chunk count {count}", path.display())));
+        }
+        let mut metas = Vec::with_capacity(count);
+        for _ in 0..count {
+            metas.push(ChunkMeta::decode(&index, &mut pos)?);
+        }
+        let header_off = get_u64(&index, &mut pos)?;
+        let header_raw_len = get_u64(&index, &mut pos)? as usize;
+        let header_stored_len = get_u64(&index, &mut pos)? as usize;
+
+        // Header blob: compression byte + payload.
+        file.seek(SeekFrom::Start(header_off))?;
+        let mut code = [0u8; 1];
+        file.read_exact(&mut code)?;
+        let mut blob = vec![0u8; header_stored_len];
+        file.read_exact(&mut blob)?;
+        let header_bytes = match Compression::from_code(code[0]).map_err(io::Error::from)? {
+            Compression::Raw => blob,
+            Compression::Lz => lz::decompress(&blob, header_raw_len)?,
+        };
+        let header_text = String::from_utf8(header_bytes)
+            .map_err(|_| bad_data(format!("{}: header blob is not UTF-8", path.display())))?;
+        let header = mempersp_extrae::trace_format::parse_trace(&header_text)
+            .map_err(|e| bad_data(format!("{}: bad header: {e}", path.display())))?;
+
+        Ok(StoreReader {
+            file: Mutex::new(file),
+            metas,
+            header,
+            cache: ShardedCache::new(cache),
+            decoded_total: AtomicU64::new(0),
+        })
+    }
+
+    /// The chunk index.
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.metas
+    }
+
+    /// Total events across all chunks.
+    pub fn num_events(&self) -> u64 {
+        self.metas.iter().map(|m| m.events as u64).sum()
+    }
+
+    /// The header trace (empty event list).
+    pub fn header(&self) -> &Trace {
+        &self.header
+    }
+
+    /// Lifetime count of chunk decodes (cache misses that hit disk).
+    pub fn chunks_decoded_total(&self) -> u64 {
+        self.decoded_total.load(Ordering::Relaxed)
+    }
+
+    /// Block-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Fetch one chunk's decoded events; `true` when this call paid
+    /// for a decode (cache miss).
+    fn chunk(&self, idx: usize) -> io::Result<(Arc<Vec<TraceEvent>>, bool)> {
+        if let Some(hit) = self.cache.get(idx) {
+            return Ok((hit, false));
+        }
+        let m = &self.metas[idx];
+        let mut stored = vec![0u8; m.stored_len as usize];
+        {
+            let mut f = self.file.lock().expect("store file lock poisoned");
+            f.seek(SeekFrom::Start(m.offset))?;
+            f.read_exact(&mut stored)?;
+        }
+        let raw = match m.compression {
+            Compression::Raw => stored,
+            Compression::Lz => lz::decompress(&stored, m.raw_len as usize)?,
+        };
+        let events = decode_events(&raw, m.events as usize)?;
+        let arc = Arc::new(events);
+        self.cache.insert(idx, arc.clone());
+        self.decoded_total.fetch_add(1, Ordering::Relaxed);
+        Ok((arc, true))
+    }
+
+    /// Indices of chunks the footer cannot rule out for `q`.
+    fn candidates(&self, q: &Query) -> (Vec<usize>, u64) {
+        let mut keep = Vec::new();
+        let mut skipped = 0u64;
+        for (i, m) in self.metas.iter().enumerate() {
+            if m.may_match(q) {
+                keep.push(i);
+            } else {
+                skipped += 1;
+            }
+        }
+        (keep, skipped)
+    }
+
+    /// Scan one chunk into `out`, updating `stats`.
+    fn scan_chunk(
+        &self,
+        idx: usize,
+        q: &Query,
+        out: &mut Vec<TraceEvent>,
+        stats: &mut ScanStats,
+    ) -> io::Result<()> {
+        let (chunk, decoded) = self.chunk(idx)?;
+        if decoded {
+            stats.chunks_decoded += 1;
+        } else {
+            stats.chunks_cached += 1;
+        }
+        stats.events_scanned += chunk.len() as u64;
+        for e in chunk.iter() {
+            if q.matches(e) {
+                stats.events_matched += 1;
+                out.push(e.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Run a query sequentially. Returns matching events in stored
+    /// (trace) order plus the scan's cost accounting.
+    pub fn query(&self, q: &Query) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        let (candidates, skipped) = self.candidates(q);
+        let mut stats = ScanStats { chunks_skipped: skipped, ..Default::default() };
+        let mut out = Vec::new();
+        for idx in candidates {
+            self.scan_chunk(idx, q, &mut out, &mut stats)?;
+        }
+        Ok((out, stats))
+    }
+
+    /// Run a query with the surviving chunks spread over `threads`
+    /// workers. The result is identical to [`StoreReader::query`] —
+    /// chunks are partitioned contiguously and re-concatenated in
+    /// index order, so event order is preserved deterministically.
+    pub fn query_parallel(&self, q: &Query, threads: usize) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        let (candidates, skipped) = self.candidates(q);
+        let threads = threads.clamp(1, candidates.len().max(1));
+        if threads <= 1 {
+            let mut stats = ScanStats { chunks_skipped: skipped, ..Default::default() };
+            let mut out = Vec::new();
+            for idx in candidates {
+                self.scan_chunk(idx, q, &mut out, &mut stats)?;
+            }
+            return Ok((out, stats));
+        }
+
+        let per_worker = candidates.len().div_ceil(threads);
+        let parts: Vec<io::Result<(Vec<TraceEvent>, ScanStats)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = candidates
+                .chunks(per_worker)
+                .map(|slice| {
+                    s.spawn(move || {
+                        let mut stats = ScanStats::default();
+                        let mut out = Vec::new();
+                        for &idx in slice {
+                            self.scan_chunk(idx, q, &mut out, &mut stats)?;
+                        }
+                        Ok((out, stats))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        });
+
+        let mut stats = ScanStats { chunks_skipped: skipped, ..Default::default() };
+        let mut out = Vec::new();
+        for part in parts {
+            let (events, p) = part?;
+            out.extend(events);
+            stats.events_matched += p.events_matched;
+            stats.events_scanned += p.events_scanned;
+            stats.chunks_decoded += p.chunks_decoded;
+            stats.chunks_cached += p.chunks_cached;
+        }
+        Ok((out, stats))
+    }
+
+    /// Materialize the whole trace: header plus every event, in
+    /// stored order.
+    pub fn materialize(&self) -> io::Result<Trace> {
+        let (events, _) = self.query(&Query::all())?;
+        let mut t = self.header.clone();
+        t.events = events;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_store_chunked;
+    use mempersp_extrae::query::EventClass;
+    use mempersp_extrae::tracer::{Tracer, TracerConfig};
+    use mempersp_pebs::CounterSnapshot;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mempersp_store_r_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn trace() -> Trace {
+        let mut t = Tracer::new(TracerConfig::default(), 4);
+        let c = CounterSnapshot::from_values([9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2]);
+        for i in 0..3000u64 {
+            let core = (i % 4) as usize;
+            t.enter(core, "R", c, i * 100);
+            t.user_event(core, 1, i, i * 100 + 10);
+            t.exit(core, "R", c, i * 100 + 50);
+        }
+        t.finish("reader test")
+    }
+
+    #[test]
+    fn materialize_equals_source_trace() {
+        let path = tmp("mat.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        let back = r.materialize().unwrap();
+        assert_eq!(back.events, t.events);
+        assert_eq!(back.meta, t.meta);
+        assert_eq!(back.region_names, t.region_names);
+        assert_eq!(back.resolution, t.resolution);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn time_window_skips_chunks() {
+        let path = tmp("window.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        assert!(r.chunks().len() >= 8, "need many chunks, got {}", r.chunks().len());
+        let q = Query::all().in_time(0, 5_000);
+        let (events, stats) = r.query(&q).unwrap();
+        let expect: Vec<_> = t.events.iter().filter(|e| q.matches(e)).cloned().collect();
+        assert_eq!(events, expect);
+        assert!(stats.chunks_skipped > 0, "{stats:?}");
+        assert!(
+            stats.chunks_decoded < r.chunks().len() as u64,
+            "decoded {} of {}",
+            stats.chunks_decoded,
+            r.chunks().len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn requery_hits_cache() {
+        let path = tmp("cache.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        let q = Query::all().in_time(0, 5_000);
+        let (_, cold) = r.query(&q).unwrap();
+        assert!(cold.chunks_decoded > 0);
+        assert_eq!(cold.chunks_cached, 0);
+        let (_, warm) = r.query(&q).unwrap();
+        assert_eq!(warm.chunks_decoded, 0, "everything cached: {warm:?}");
+        assert_eq!(warm.chunks_cached, cold.chunks_decoded);
+        assert_eq!(r.chunks_decoded_total(), cold.chunks_decoded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let path = tmp("par.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        let q = Query::all().with_kinds(&[EventClass::User]);
+        let (seq, seq_stats) = r.query(&q).unwrap();
+        for threads in [2, 3, 8] {
+            let (par, par_stats) = r.query_parallel(&q, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_stats.events_matched, seq_stats.events_matched);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_non_store_files() {
+        let path = tmp("bogus.mps");
+        std::fs::write(&path, "#MEMPERSP-PRV 1\nMETA 2500 1 0 \"x\"\n").unwrap();
+        let err = match StoreReader::open(&path) {
+            Ok(_) => panic!("a .prv text file must not open as a store"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("magic") || err.to_string().contains("short"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_truncated_store() {
+        let path = tmp("trunc.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
+        assert!(StoreReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

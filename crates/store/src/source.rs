@@ -1,0 +1,145 @@
+//! [`TraceSource`] adapter for `.mps` stores, and a format-sniffing
+//! opener so downstream analyses (folding, object stats, the CLI)
+//! accept either container without caring which one they got.
+
+use crate::reader::StoreReader;
+use mempersp_extrae::events::TraceEvent;
+use mempersp_extrae::query::Query;
+use mempersp_extrae::trace_source::{MaterializedSource, ScanStats, TraceSource};
+use mempersp_extrae::tracer::Trace;
+use std::io::{self, Read as _};
+use std::path::Path;
+
+/// A `.mps` store behind the [`TraceSource`] trait. Queries push
+/// predicates down into the chunk index instead of materializing the
+/// whole trace.
+pub struct MpsSource {
+    reader: StoreReader,
+}
+
+impl MpsSource {
+    pub fn open(path: &Path) -> io::Result<MpsSource> {
+        Ok(MpsSource { reader: StoreReader::open(path)? })
+    }
+
+    /// The underlying reader (chunk index, decode counters, cache
+    /// stats).
+    pub fn reader(&self) -> &StoreReader {
+        &self.reader
+    }
+}
+
+impl TraceSource for MpsSource {
+    fn header(&mut self) -> io::Result<Trace> {
+        Ok(self.reader.header().clone())
+    }
+
+    fn scan(
+        &mut self,
+        query: &Query,
+        sink: &mut dyn FnMut(TraceEvent),
+    ) -> io::Result<ScanStats> {
+        let (events, stats) = self.reader.query(query)?;
+        for e in events {
+            sink(e);
+        }
+        Ok(stats)
+    }
+
+    fn format_name(&self) -> &'static str {
+        "mps"
+    }
+
+    fn materialize(&mut self) -> io::Result<Trace> {
+        self.reader.materialize()
+    }
+}
+
+/// Open a trace by path, sniffing the leading bytes: `MPSTORE1` means
+/// a binary store, anything else is parsed as a text `.prv` trace.
+pub fn open_trace_source(path: &Path) -> io::Result<Box<dyn TraceSource>> {
+    let mut file = std::fs::File::open(path).map_err(|e| {
+        io::Error::new(e.kind(), format!("opening trace {}: {e}", path.display()))
+    })?;
+    let mut head = [0u8; 8];
+    let n = file.read(&mut head)?;
+    drop(file);
+    if n == 8 && &head == crate::writer::MAGIC {
+        return Ok(Box::new(MpsSource::open(path)?));
+    }
+    Ok(Box::new(MaterializedSource::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_store_chunked;
+    use mempersp_extrae::query::EventClass;
+    use mempersp_extrae::trace_format::{save_trace, write_trace};
+    use mempersp_extrae::tracer::{Tracer, TracerConfig};
+    use mempersp_pebs::CounterSnapshot;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mempersp_store_s_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn trace() -> Trace {
+        let mut t = Tracer::new(TracerConfig::default(), 2);
+        let c = CounterSnapshot::from_values([9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2]);
+        for i in 0..2000u64 {
+            t.enter((i % 2) as usize, "R", c, i * 10);
+            t.exit((i % 2) as usize, "R", c, i * 10 + 5);
+        }
+        t.finish("source test")
+    }
+
+    #[test]
+    fn sniffer_dispatches_on_magic() {
+        let t = trace();
+        let prv = tmp("sniff.prv");
+        let mps = tmp("sniff.mps");
+        save_trace(&prv, &t).unwrap();
+        write_store_chunked(&mps, &t, 4096).unwrap();
+
+        let mut p = open_trace_source(&prv).unwrap();
+        let mut m = open_trace_source(&mps).unwrap();
+        assert_eq!(p.format_name(), "prv");
+        assert_eq!(m.format_name(), "mps");
+        assert_eq!(p.materialize().unwrap().events, m.materialize().unwrap().events);
+        std::fs::remove_file(&prv).ok();
+        std::fs::remove_file(&mps).ok();
+    }
+
+    #[test]
+    fn filtered_scan_agrees_across_formats() {
+        let t = trace();
+        let prv = tmp("agree.prv");
+        let mps = tmp("agree.mps");
+        save_trace(&prv, &t).unwrap();
+        write_store_chunked(&mps, &t, 4096).unwrap();
+
+        let q = Query::all().in_time(0, 3000).with_kinds(&[EventClass::RegionEnter]);
+        let mut p = open_trace_source(&prv).unwrap();
+        let mut m = open_trace_source(&mps).unwrap();
+        let (tp, _) = p.filtered(&q).unwrap();
+        let (tm, sm) = m.filtered(&q).unwrap();
+        assert_eq!(tp.events, tm.events);
+        assert!(sm.chunks_skipped > 0, "selective query should prune chunks: {sm:?}");
+        std::fs::remove_file(&prv).ok();
+        std::fs::remove_file(&mps).ok();
+    }
+
+    #[test]
+    fn round_trip_prv_mps_prv_is_byte_identical() {
+        let t = trace();
+        let prv_text = write_trace(&t);
+        let mps = tmp("rt.mps");
+        write_store_chunked(&mps, &t, 4096).unwrap();
+        let mut m = open_trace_source(&mps).unwrap();
+        let back = m.materialize().unwrap();
+        assert_eq!(write_trace(&back), prv_text);
+        std::fs::remove_file(&mps).ok();
+    }
+}

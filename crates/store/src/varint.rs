@@ -1,0 +1,171 @@
+//! LEB128 variable-length integers, the store's primitive encoding.
+//!
+//! Event records are dominated by small numbers — deltas between
+//! consecutive timestamps, core ids, sizes, latencies — so a
+//! byte-per-7-bits encoding shrinks them far below their fixed-width
+//! forms. Signed values (timestamp deltas may be negative when cores
+//! interleave out of order) are zig-zag folded first.
+
+/// Decoding failure: truncated or over-long input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for std::io::Error {
+    fn from(e: CodecError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Append `v` as an unsigned LEB128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned varint at `*pos`, advancing it.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let start = *pos;
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or_else(|| CodecError {
+            offset: start,
+            message: "truncated varint".into(),
+        })?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError { offset: start, message: "varint overflows u64".into() });
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zig-zag fold a signed value into an unsigned one.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a signed varint (zig-zag + LEB128).
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_u64(out, zigzag(v));
+}
+
+/// Read a signed varint at `*pos`, advancing it.
+pub fn get_i64(buf: &[u8], pos: &mut usize) -> Result<i64, CodecError> {
+    Ok(unzigzag(get_u64(buf, pos)?))
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Read a length-prefixed byte string at `*pos`, advancing it.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CodecError> {
+    let start = *pos;
+    let len = get_u64(buf, pos)? as usize;
+    let end = pos.checked_add(len).filter(|&e| e <= buf.len()).ok_or_else(|| CodecError {
+        offset: start,
+        message: format!("byte string of length {len} overruns buffer"),
+    })?;
+    let s = &buf[*pos..end];
+    *pos = end;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_boundaries() {
+        let values = [0, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_round_trip_signs() {
+        for &v in &[0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
+            let mut buf = Vec::new();
+            put_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_i64(&mut buf, -50);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(get_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert!(get_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip_and_bounds_check() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"hello");
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"");
+        assert_eq!(pos, buf.len());
+
+        let mut bad = Vec::new();
+        put_u64(&mut bad, 1000);
+        let mut pos = 0;
+        assert!(get_bytes(&bad, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! The append-only store writer.
+//!
+//! File layout (`.mps`):
+//!
+//! ```text
+//! +-----------------+ offset 0
+//! | magic MPSTORE1  | 8 bytes
+//! +-----------------+
+//! | chunk payload 0 | varint events, raw or LZ      (~64 KiB each)
+//! | chunk payload 1 |
+//! | ...             |
+//! +-----------------+
+//! | header blob     | compression code + header_sections() text
+//! +-----------------+ <- index_off
+//! | footer index    | chunk count, ChunkMeta per chunk,
+//! |                 | header blob location
+//! +-----------------+
+//! | trailer         | index_off:u64le + magic MPSEND01  (16 bytes)
+//! +-----------------+
+//! ```
+//!
+//! Chunks stream out as the run progresses — nothing before the
+//! footer is ever rewritten, so a writer needs O(chunk) memory no
+//! matter how long the trace is (the footer index grows at ~40 bytes
+//! per 64 KiB chunk). The header — symbols, objects, region names,
+//! which are only complete at the end of the run — goes *behind* the
+//! chunks, mirroring how Extrae's merger appends global information
+//! post-mortem.
+
+use crate::chunk::{ChunkMeta, Compression};
+use crate::codec::encode_event;
+use crate::lz;
+use mempersp_extrae::events::TraceEvent;
+use mempersp_extrae::stream_writer::EventSink;
+use mempersp_extrae::tracer::Trace;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Leading file magic.
+pub const MAGIC: &[u8; 8] = b"MPSTORE1";
+/// Trailing file magic (after the index offset).
+pub const TRAILER_MAGIC: &[u8; 8] = b"MPSEND01";
+/// Default target for one chunk's *raw* encoded payload.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// What a finished store contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    pub events: u64,
+    pub chunks: u64,
+    /// Total raw encoded payload bytes (before compression).
+    pub raw_bytes: u64,
+    /// Total stored payload bytes (after compression).
+    pub stored_bytes: u64,
+}
+
+/// Streaming writer of the chunked binary container.
+pub struct StoreWriter {
+    out: io::BufWriter<std::fs::File>,
+    /// Next payload write position.
+    pos: u64,
+    chunk_target: usize,
+    /// Raw encoding of the open chunk.
+    enc: Vec<u8>,
+    /// Timestamp-delta state of the open chunk.
+    prev_cycles: u64,
+    /// Summary of the open chunk.
+    open_meta: ChunkMeta,
+    metas: Vec<ChunkMeta>,
+    total_events: u64,
+    raw_bytes: u64,
+    finished: bool,
+}
+
+impl StoreWriter {
+    /// Create a store at `path` with the default ~64 KiB chunk target.
+    pub fn create(path: &Path) -> io::Result<StoreWriter> {
+        Self::with_chunk_target(path, DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Create with an explicit raw-payload chunk target (tests use
+    /// small targets to force many chunks from small traces).
+    pub fn with_chunk_target(path: &Path, chunk_target: usize) -> io::Result<StoreWriter> {
+        let file = std::fs::File::create(path).map_err(|e| {
+            io::Error::new(e.kind(), format!("creating store {}: {e}", path.display()))
+        })?;
+        let mut out = io::BufWriter::new(file);
+        out.write_all(MAGIC)?;
+        Ok(StoreWriter {
+            out,
+            pos: MAGIC.len() as u64,
+            chunk_target: chunk_target.max(1024),
+            enc: Vec::with_capacity(chunk_target + 256),
+            prev_cycles: 0,
+            open_meta: ChunkMeta::summarize(&[]),
+            metas: Vec::new(),
+            total_events: 0,
+            raw_bytes: 0,
+            finished: false,
+        })
+    }
+
+    /// Append one event; seals and writes a chunk whenever the raw
+    /// encoding crosses the chunk target.
+    pub fn append(&mut self, event: &TraceEvent) -> io::Result<()> {
+        assert!(!self.finished, "append after finish");
+        encode_event(&mut self.enc, event, &mut self.prev_cycles);
+        self.open_meta.observe(event);
+        self.open_meta.events += 1;
+        self.total_events += 1;
+        if self.enc.len() >= self.chunk_target {
+            self.seal_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Number of sealed chunks so far.
+    pub fn chunks_written(&self) -> usize {
+        self.metas.len()
+    }
+
+    fn seal_chunk(&mut self) -> io::Result<()> {
+        if self.open_meta.events == 0 {
+            return Ok(());
+        }
+        let raw_len = self.enc.len();
+        let compressed = lz::compress(&self.enc);
+        let (payload, compression): (&[u8], Compression) = if compressed.len() < raw_len {
+            (&compressed, Compression::Lz)
+        } else {
+            (&self.enc, Compression::Raw)
+        };
+        let mut meta = std::mem::replace(&mut self.open_meta, ChunkMeta::summarize(&[]));
+        meta.offset = self.pos;
+        meta.stored_len = payload.len() as u32;
+        meta.raw_len = raw_len as u32;
+        meta.compression = compression;
+        self.out.write_all(payload)?;
+        self.pos += payload.len() as u64;
+        self.raw_bytes += raw_len as u64;
+        self.metas.push(meta);
+        self.enc.clear();
+        self.prev_cycles = 0;
+        Ok(())
+    }
+
+    /// Seal the open chunk, append the header blob + footer index +
+    /// trailer, and flush. `trace_for_header` contributes only its
+    /// header sections; its event list is ignored (the streamed chunks
+    /// are the record of truth).
+    pub fn finish(&mut self, trace_for_header: &Trace) -> io::Result<StoreSummary> {
+        assert!(!self.finished, "finish called twice");
+        self.seal_chunk()?;
+
+        // Header blob: the text header behind a compression byte.
+        let header_text = mempersp_extrae::trace_format::header_sections(trace_for_header);
+        let header_raw = header_text.as_bytes();
+        let header_lz = lz::compress(header_raw);
+        let header_off = self.pos;
+        let (blob, code): (&[u8], u8) = if header_lz.len() < header_raw.len() {
+            (&header_lz, Compression::Lz.code())
+        } else {
+            (header_raw, Compression::Raw.code())
+        };
+        self.out.write_all(&[code])?;
+        self.out.write_all(blob)?;
+        self.pos += 1 + blob.len() as u64;
+
+        // Footer index.
+        let index_off = self.pos;
+        let mut index = Vec::with_capacity(self.metas.len() * 48 + 32);
+        crate::varint::put_u64(&mut index, self.metas.len() as u64);
+        for m in &self.metas {
+            m.encode(&mut index);
+        }
+        crate::varint::put_u64(&mut index, header_off);
+        crate::varint::put_u64(&mut index, header_raw.len() as u64);
+        crate::varint::put_u64(&mut index, blob.len() as u64);
+        self.out.write_all(&index)?;
+
+        // Fixed-size trailer so a reader can find the index from EOF.
+        self.out.write_all(&index_off.to_le_bytes())?;
+        self.out.write_all(TRAILER_MAGIC)?;
+        self.out.flush()?;
+        self.finished = true;
+
+        Ok(StoreSummary {
+            events: self.total_events,
+            chunks: self.metas.len() as u64,
+            raw_bytes: self.raw_bytes,
+            stored_bytes: self.metas.iter().map(|m| m.stored_len as u64).sum(),
+        })
+    }
+}
+
+impl EventSink for StoreWriter {
+    fn append_event(&mut self, event: &TraceEvent) -> io::Result<()> {
+        self.append(event)
+    }
+
+    fn finish(&mut self, trace_for_header: &Trace) -> io::Result<()> {
+        StoreWriter::finish(self, trace_for_header).map(|_| ())
+    }
+}
+
+/// Write a complete in-memory trace as a store file.
+pub fn write_store(path: &Path, trace: &Trace) -> io::Result<StoreSummary> {
+    write_store_chunked(path, trace, DEFAULT_CHUNK_BYTES)
+}
+
+/// [`write_store`] with an explicit chunk target.
+pub fn write_store_chunked(path: &Path, trace: &Trace, chunk_target: usize) -> io::Result<StoreSummary> {
+    let mut w = StoreWriter::with_chunk_target(path, chunk_target)?;
+    for e in &trace.events {
+        w.append(e)?;
+    }
+    w.finish(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::tracer::{Tracer, TracerConfig};
+    use mempersp_pebs::CounterSnapshot;
+
+    fn trace(n: u64) -> Trace {
+        let mut t = Tracer::new(TracerConfig::default(), 2);
+        let c = CounterSnapshot::from_values([9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2]);
+        for i in 0..n {
+            t.enter((i % 2) as usize, "R", c, i * 10);
+            t.exit((i % 2) as usize, "R", c, i * 10 + 5);
+        }
+        t.finish("writer test")
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mempersp_store_w_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn file_shape_magic_and_trailer() {
+        let path = tmp("shape.mps");
+        let t = trace(2000);
+        let s = write_store_chunked(&path, &t, 4096).unwrap();
+        assert_eq!(s.events, 4000);
+        assert!(s.chunks > 1, "small target forces multiple chunks, got {}", s.chunks);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC);
+        let index_off =
+            u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap());
+        assert!((index_off as usize) < bytes.len() - 16);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compression_pays_off_on_repetitive_traces() {
+        let path = tmp("ratio.mps");
+        let t = trace(5000);
+        let s = write_store(&path, &t).unwrap();
+        assert!(
+            s.stored_bytes < s.raw_bytes,
+            "LZ pass should shrink repetitive region events: {} vs {}",
+            s.stored_bytes,
+            s.raw_bytes
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_still_produces_valid_container() {
+        let path = tmp("empty.mps");
+        let t = Tracer::new(TracerConfig::default(), 1).finish("empty");
+        let s = write_store(&path, &t).unwrap();
+        assert_eq!(s.events, 0);
+        assert_eq!(s.chunks, 0);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC);
+        std::fs::remove_file(&path).ok();
+    }
+}

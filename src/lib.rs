@@ -11,6 +11,8 @@
 //!   sampling with event multiplexing;
 //! * [`extrae`] — the monitoring runtime: instrumentation, allocation
 //!   interposition, data-object resolution and Paraver-like traces;
+//! * [`store`] — the chunked, indexed binary trace container (`.mps`)
+//!   with predicate-pushdown queries and a sharded block cache;
 //! * [`folding`] — the Folding mechanism that turns sparse samples from
 //!   repetitive regions into one detailed synthetic instance;
 //! * [`hpcg`] — the HPCG 3.0 benchmark reimplementation used in the
@@ -36,4 +38,5 @@ pub use mempersp_folding as folding;
 pub use mempersp_hpcg as hpcg;
 pub use mempersp_memsim as memsim;
 pub use mempersp_pebs as pebs;
+pub use mempersp_store as store;
 pub use mempersp_workloads as workloads;
