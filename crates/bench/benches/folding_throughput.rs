@@ -1,53 +1,307 @@
-//! Folding-mechanism microbenchmarks: cost of the fold as a function
-//! of sample count (the paper's selling point is that *coarse*
-//! sampling suffices — the fold itself must stay cheap).
+//! Folding-engine throughput: the single-pass multi-region engine
+//! against the per-region rescan loop it replaces, plus an ablation of
+//! the pooled-sample data layout (SoA buffers + interned file table vs
+//! the old AoS tuples with per-sample `String` clones).
+//!
+//! Scenarios (all folding every region of one HPCG trace):
+//!
+//! * `per_region_rescan_mps` — the pre-PR shape: one
+//!   `fold_region_source` call per region, each rescanning the `.mps`
+//!   store;
+//! * `single_pass_threads1` / `single_pass_threads4` — one
+//!   `fold_regions_source` call folding all regions from a single
+//!   store pass, fold work items on 1 vs 4 worker threads;
+//! * `aos_string_pooling` vs `soa_interned_pooling` — pooling only
+//!   (instances precomputed, in-memory trace): a faithful replica of
+//!   the old per-sample-`String`, tuple-vector pooling against the
+//!   current SoA + `FileId`-interning implementation.
+//!
+//! Writes `BENCH_folding.json` next to the workspace root so the
+//! performance trajectory is tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mempersp_extrae::{Tracer, TracerConfig};
-use mempersp_folding::{fold_region, FoldingConfig};
-use mempersp_pebs::{CounterSnapshot, EventKind};
+use mempersp_bench::{cross_thread_speedup, host_cpus, Scale};
+use mempersp_core::Machine;
+use mempersp_extrae::events::EventPayload;
+use mempersp_extrae::Trace;
+use mempersp_folding::{
+    collect_instances, fold_region_source, fold_regions_source, pool_samples, FoldingConfig,
+    InstanceFilter, RegionInstance, RegionRequest,
+};
+use mempersp_hpcg::HpcgWorkload;
+use mempersp_pebs::EventKind;
+use mempersp_store::{write_store_chunked, MpsSource};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn trace_with_samples(instances: usize, samples_per: usize) -> mempersp_extrae::Trace {
-    let mut t = Tracer::new(TracerConfig::default(), 1);
-    let ip = t.location("k.rs", 1, "k");
-    let mk = |inst: u64| {
-        let mut v = [0u64; EventKind::ALL.len()];
-        v[EventKind::Instructions.index()] = inst;
-        v[EventKind::Cycles.index()] = inst * 2;
-        CounterSnapshot::from_values(v)
-    };
-    let mut now = 0u64;
-    let mut base = 0u64;
-    for _ in 0..instances {
-        t.enter(0, "R", mk(base), now);
-        for s in 1..=samples_per {
-            let x = s as f64 / (samples_per + 1) as f64;
-            t.record_counter_sample(0, ip, mk(base + (x * 1e6) as u64), now + (x * 10_000.0) as u64);
+/// Small chunks so the kind-mask index has pruning opportunities
+/// (allocation-, mux- and user-event runs become foldable-free chunks).
+const CHUNK_TARGET: usize = 8 * 1024;
+
+struct Measure {
+    name: &'static str,
+    seconds: f64,
+}
+
+/// Run a scenario `n` times and keep the fastest trial — the
+/// least-noise estimate of its true cost (interference only ever
+/// makes a trial slower, never faster).
+fn best_of(n: usize, name: &'static str, mut f: impl FnMut() -> f64) -> Measure {
+    let mut best = f();
+    for _ in 1..n {
+        best = best.min(f());
+    }
+    Measure { name, seconds: best }
+}
+
+/// The pre-PR loop: one full store scan per region.
+fn bench_rescan(src: &mut MpsSource, regions: &[String]) -> f64 {
+    let cfg = FoldingConfig::default();
+    let t = Instant::now();
+    let mut folded = 0usize;
+    for r in regions {
+        if let Ok((f, _)) = fold_region_source(src, r, &cfg) {
+            black_box(f.pooled.len());
+            folded += 1;
         }
-        t.exit(0, "R", mk(base + 1_000_000), now + 10_000);
-        base += 1_000_000;
-        now += 10_100;
     }
-    t.finish("folding bench")
+    black_box(folded);
+    t.elapsed().as_secs_f64()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("folding_throughput");
-    for &(instances, samples) in &[(10usize, 10usize), (100, 10), (100, 100), (1000, 100)] {
-        let trace = trace_with_samples(instances, samples);
-        let total = (instances * samples) as u64;
-        g.throughput(Throughput::Elements(total));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{instances}x{samples}")),
-            &trace,
-            |b, tr| {
-                b.iter(|| black_box(fold_region(tr, "R", &FoldingConfig::default()).unwrap()))
-            },
-        );
-    }
-    g.finish();
+/// The single-pass engine: every region folded from one store scan.
+fn bench_single_pass(src: &mut MpsSource, requests: &[RegionRequest], threads: usize) -> f64 {
+    let t = Instant::now();
+    let (results, stats) = fold_regions_source(src, requests, threads).expect("store scan");
+    black_box(results.iter().filter(|r| r.is_ok()).count());
+    black_box(stats.events_scanned);
+    t.elapsed().as_secs_f64()
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+/// Faithful replica of the pooling loop this PR replaced: linear
+/// instance search per sample, AoS `(f64, f64)` tuple vectors, a
+/// freshly cloned `String` file name per resolved sample, and
+/// comparison sorts over the cloned data.
+mod legacy {
+    use super::*;
+    use mempersp_memsim::MemLevel;
+
+    // Fields mirror the old layout; the bench only reads `len()`, the
+    // stores and sorts over them are the measured work.
+    #[allow(dead_code)]
+    pub struct AosLinePoint {
+        pub x: f64,
+        pub ip: u64,
+        pub file: Option<String>,
+        pub line: Option<u32>,
+    }
+
+    #[allow(dead_code)]
+    pub struct AosAddrPoint {
+        pub x: f64,
+        pub addr: u64,
+        pub ip: u64,
+        pub is_store: bool,
+        pub latency: u32,
+        pub source: MemLevel,
+    }
+
+    #[derive(Default)]
+    pub struct AosPooled {
+        pub counter_points: Vec<Vec<(f64, f64)>>,
+        pub addr_points: Vec<AosAddrPoint>,
+        pub line_points: Vec<AosLinePoint>,
+    }
+
+    impl AosPooled {
+        pub fn len(&self) -> usize {
+            self.counter_points.iter().map(Vec::len).sum::<usize>()
+                + self.addr_points.len()
+                + self.line_points.len()
+        }
+    }
+
+    fn find_instance(instances: &[RegionInstance], core: usize, cycles: u64) -> Option<usize> {
+        instances.iter().position(|i| i.core == core && i.contains(cycles))
+    }
+
+    pub fn pool(trace: &Trace, instances: &[RegionInstance]) -> AosPooled {
+        let mut out = AosPooled {
+            counter_points: vec![Vec::new(); EventKind::ALL.len()],
+            ..AosPooled::default()
+        };
+        let resolve_line = |ip: u64| -> (Option<String>, Option<u32>) {
+            match trace.source.resolve(mempersp_extrae::Ip(ip)) {
+                Some(loc) => (Some(loc.file.clone()), Some(loc.line)),
+                None => (None, None),
+            }
+        };
+        for e in &trace.events {
+            match &e.payload {
+                EventPayload::CounterSample { ip, counters, .. } => {
+                    let Some(idx) = find_instance(instances, e.core, e.cycles) else {
+                        continue;
+                    };
+                    let inst = &instances[idx];
+                    let x = inst.normalize(e.cycles);
+                    for kind in EventKind::ALL {
+                        let c0 = inst.counters_in.get(kind);
+                        let c1 = inst.counters_out.get(kind);
+                        if c1 <= c0 {
+                            continue;
+                        }
+                        let c = counters.get(kind).clamp(c0, c1);
+                        let y = (c - c0) as f64 / (c1 - c0) as f64;
+                        out.counter_points[kind.index()].push((x, y));
+                    }
+                    let (file, line) = resolve_line(ip.0);
+                    out.line_points.push(AosLinePoint { x, ip: ip.0, file, line });
+                }
+                EventPayload::Pebs { sample, .. } => {
+                    let Some(idx) = find_instance(instances, sample.core, sample.timestamp)
+                    else {
+                        continue;
+                    };
+                    let x = instances[idx].normalize(sample.timestamp);
+                    out.addr_points.push(AosAddrPoint {
+                        x,
+                        addr: sample.addr,
+                        ip: sample.ip,
+                        is_store: sample.is_store,
+                        latency: sample.latency,
+                        source: sample.source,
+                    });
+                    let (file, line) = resolve_line(sample.ip);
+                    out.line_points.push(AosLinePoint { x, ip: sample.ip, file, line });
+                }
+                _ => {}
+            }
+        }
+        for pts in &mut out.counter_points {
+            pts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN coordinates"));
+        }
+        out.addr_points
+            .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("no NaN coordinates"));
+        out.line_points
+            .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("no NaN coordinates"));
+        out
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("generating HPCG trace at scale {scale:?}...");
+    let mut machine = Machine::new(scale.machine());
+    let mut workload = HpcgWorkload::new(scale.hpcg());
+    let report = machine.run(&mut workload);
+    let trace = report.trace;
+    let regions = trace.region_names.clone();
+    println!("trace: {} events, {} regions", trace.events.len(), regions.len());
+
+    let path = std::env::temp_dir()
+        .join(format!("mempersp_bench_fold_{}.mps", std::process::id()));
+    write_store_chunked(&path, &trace, CHUNK_TARGET).expect("write .mps store");
+    let mut src = MpsSource::open(&path).expect("open .mps store");
+
+    let requests: Vec<RegionRequest> = regions.iter().map(RegionRequest::new).collect();
+
+    // Instances per region, precomputed so the pooling ablation times
+    // pooling alone.
+    let kept: Vec<Vec<RegionInstance>> = regions
+        .iter()
+        .filter_map(|r| trace.region_id(r))
+        .map(|id| collect_instances(&trace, id, InstanceFilter::default()).0)
+        .collect();
+
+    const TRIALS: usize = 3;
+    // Warm up (page in the store, fill the block cache) so the first
+    // measured scenario is not penalized; the warm-up run is discarded.
+    black_box(bench_rescan(&mut src, &regions));
+
+    let rescan = best_of(TRIALS, "per_region_rescan_mps", || bench_rescan(&mut src, &regions));
+    let single1 = best_of(TRIALS, "single_pass_threads1", || {
+        bench_single_pass(&mut src, &requests, 1)
+    });
+    let single4 = best_of(TRIALS, "single_pass_threads4", || {
+        bench_single_pass(&mut src, &requests, 4)
+    });
+    let aos = best_of(TRIALS, "aos_string_pooling", || {
+        let t = Instant::now();
+        for inst in &kept {
+            black_box(legacy::pool(&trace, inst).len());
+        }
+        t.elapsed().as_secs_f64()
+    });
+    let soa = best_of(TRIALS, "soa_interned_pooling", || {
+        let t = Instant::now();
+        for inst in &kept {
+            black_box(pool_samples(&trace, inst).len());
+        }
+        t.elapsed().as_secs_f64()
+    });
+
+    // One untimed single-pass run to record the scan statistics (chunk
+    // pruning is deterministic; cache hits depend on warmth, so this
+    // reports the steady state).
+    let (_, stats) = fold_regions_source(&mut src, &requests, 1).expect("store scan");
+
+    let measures = [&rescan, &single1, &single4, &aos, &soa];
+    let mut scenarios = Vec::new();
+    for m in measures {
+        println!("{:<24} {:>9.4}s", m.name, m.seconds);
+        scenarios.push(serde_json::json!({
+            "name": m.name,
+            "seconds": m.seconds,
+        }));
+    }
+
+    // Headline: single-pass vs rescan at one thread on both sides —
+    // valid even on a 1-CPU host, because the win is fewer scans and a
+    // leaner pooling loop, not parallelism.
+    let single_pass_speedup = rescan.seconds / single1.seconds;
+    let pooling_speedup = aos.seconds / soa.seconds;
+    let (threads_speedup, threads_skip) =
+        cross_thread_speedup(4, 1.0 / single4.seconds, 1.0 / single1.seconds);
+    println!("single-pass vs per-region rescan: {single_pass_speedup:.2}x");
+    println!("SoA+interned vs AoS+String pool:  {pooling_speedup:.2}x");
+    match threads_speedup.as_f64() {
+        Some(s) => println!("4 threads vs 1 thread:            {s:.2}x"),
+        None => println!(
+            "4 threads vs 1 thread:            skipped ({})",
+            threads_skip.as_deref().unwrap_or("no reason recorded")
+        ),
+    }
+    println!(
+        "scan: {} matched / {} scanned, chunks {} decoded / {} cached / {} skipped",
+        stats.events_matched,
+        stats.events_scanned,
+        stats.chunks_decoded,
+        stats.chunks_cached,
+        stats.chunks_skipped
+    );
+
+    let summary = serde_json::json!({
+        "bench": "folding_throughput",
+        "scale": format!("{scale:?}"),
+        "regions": regions.len(),
+        "host_cpus": host_cpus(),
+        "scenarios": scenarios,
+        "single_pass_scan": serde_json::json!({
+            "events_matched": stats.events_matched,
+            "events_scanned": stats.events_scanned,
+            "chunks_decoded": stats.chunks_decoded,
+            "chunks_cached": stats.chunks_cached,
+            "chunks_skipped": stats.chunks_skipped,
+        }),
+        "speedup_single_pass_vs_rescan": single_pass_speedup,
+        "speedup_soa_interned_vs_aos_string": pooling_speedup,
+        "speedup_threads4_vs_threads1": threads_speedup,
+        "speedup_threads4_vs_threads1_skipped_reason": threads_skip,
+    });
+    // Anchor at the workspace root (cargo runs benches with the
+    // package dir as CWD), so the tracked summary has one location.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_folding.json");
+    std::fs::write(out, serde_json::to_string_pretty(&summary).expect("serialize"))
+        .expect("write BENCH_folding.json");
+    println!("wrote {out}");
+    std::fs::remove_file(&path).ok();
+}

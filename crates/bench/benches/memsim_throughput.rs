@@ -302,19 +302,27 @@ fn main() {
     // configuration on this host.
     let pipeline_speedup =
         measures[2].rate().max(measures[3].rate()) / measures[0].rate();
-    let machine_speedup = measures[5].rate() / measures[4].rate();
+    let (machine_speedup, machine_skip) =
+        mempersp_bench::cross_thread_speedup(4, measures[5].rate(), measures[4].rate());
     println!("batched vs per-access:            {batched_speedup:.2}x");
     println!("epoch pipeline vs per-access:     {pipeline_speedup:.2}x");
-    println!("machine 4 threads vs 1 thread:    {machine_speedup:.2}x");
+    match machine_speedup.as_f64() {
+        Some(s) => println!("machine 4 threads vs 1 thread:    {s:.2}x"),
+        None => println!(
+            "machine 4 threads vs 1 thread:    skipped ({})",
+            machine_skip.as_deref().unwrap_or("no reason recorded")
+        ),
+    }
 
     let summary = serde_json::json!({
         "bench": "memsim_throughput",
         "cores": CORES,
-        "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "host_cpus": mempersp_bench::host_cpus(),
         "scenarios": scenarios,
         "speedup_batched_vs_per_access": batched_speedup,
         "speedup_pipeline_vs_per_access": pipeline_speedup,
         "speedup_machine_threads4_vs_threads1": machine_speedup,
+        "speedup_machine_threads4_vs_threads1_skipped_reason": machine_skip,
     });
     // Anchor at the workspace root (cargo runs benches with the
     // package dir as CWD), so the tracked summary has one location.

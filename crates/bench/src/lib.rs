@@ -94,6 +94,36 @@ pub fn run_ungrouped(scale: Scale) -> HpcgAnalysis {
     analyze_hpcg(scale.machine(), cfg)
 }
 
+/// Number of CPUs the host actually offers this process.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Cross-thread speedup field for the BENCH_*.json summaries.
+///
+/// A `threads4 / threads1` ratio measured on a host with fewer CPUs
+/// than worker threads is noise, not a speedup — the workers time-share
+/// the same cores. In that case the metric is `null` and an explicit
+/// `*_skipped_reason` string records why, so downstream tooling never
+/// mistakes an oversubscribed run for a regression.
+pub fn cross_thread_speedup(
+    threads: usize,
+    faster: f64,
+    baseline: f64,
+) -> (serde_json::Value, Option<String>) {
+    let cpus = host_cpus();
+    if cpus < threads {
+        (
+            serde_json::Value::Null,
+            Some(format!(
+                "host_cpus {cpus} < threads {threads}: cross-thread ratio not meaningful"
+            )),
+        )
+    } else {
+        (serde_json::Value::from(faster / baseline), None)
+    }
+}
+
 /// Format a paper-vs-measured row.
 pub fn row(metric: &str, paper: &str, measured: &str, verdict: &str) -> String {
     format!("{metric:<44} | {paper:>18} | {measured:>18} | {verdict}")

@@ -141,7 +141,10 @@ mod tests {
     use mempersp_memsim::MemLevel;
     use mempersp_pebs::EventKind;
 
+    #[allow(clippy::field_reassign_with_default)]
     fn folded_with(points: Vec<AddrPoint>) -> FoldedRegion {
+        let mut pooled = PooledSamples::default();
+        pooled.addr_points = points;
         FoldedRegion {
             region: "it".into(),
             instances_used: 1,
@@ -157,11 +160,7 @@ mod tests {
                     points: 0,
                 })
                 .collect(),
-            pooled: PooledSamples {
-                counter_points: vec![Vec::new(); EventKind::ALL.len()],
-                addr_points: points,
-                line_points: Vec::new(),
-            },
+            pooled,
         }
     }
 

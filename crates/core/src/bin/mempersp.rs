@@ -6,6 +6,8 @@
 //! mempersp info trace.prv
 //! mempersp objects trace.prv
 //! mempersp fold trace.prv --region CG_iteration [--csv-dir target/fig1]
+//! mempersp fold trace.mps --regions all --threads 4 [--stats]
+//! mempersp fold trace.mps --regions CG_iteration,ComputeSYMGS_ref
 //! mempersp convert trace.prv -o trace.mps   # and back: trace.mps -o out.prv
 //! mempersp query trace.mps --time 0:100000 --kinds PEBS --stats
 //! ```
@@ -26,7 +28,7 @@ use mempersp_extrae::query::{EventClass, Query};
 use mempersp_extrae::trace_format::{event_record, save_trace};
 use mempersp_extrae::trace_source::{ScanStats, TraceSource};
 use mempersp_extrae::{Trace, Workload};
-use mempersp_folding::{fold_region_source, FoldingConfig};
+use mempersp_folding::{fold_region_source, fold_regions_source, FoldingConfig, RegionRequest};
 use mempersp_hpcg::{HpcgConfig, HpcgWorkload};
 use mempersp_store::{open_trace_source, write_store, MpsSource};
 use mempersp_workloads::{PointerChase, Stencil7, StreamTriad, TiledMatmul};
@@ -37,7 +39,8 @@ fn usage() -> ! {
         "usage:\n  mempersp run --workload <hpcg|stream|stencil|chase|matmul> \
          [--nx N] [--iters N] [--cores N] [--threads N] [--no-group] [--haswell] -o <trace>\n  \
          mempersp info <trace>\n  mempersp objects <trace>\n  \
-         mempersp fold <trace> --region <name> [--csv-dir <dir>]\n  \
+         mempersp fold <trace> --region <name> [--csv-dir <dir>] [--stats]\n  \
+         mempersp fold <trace> --regions <a,b,...|all> [--threads N] [--csv-dir <dir>] [--stats]\n  \
          mempersp export <trace> [--dir <dir>] [--prefix <name>]\n  \
          mempersp profile <trace>\n  \
          mempersp convert <trace> -o <out.prv|out.mps>\n  \
@@ -376,10 +379,21 @@ fn cmd_objects(args: &[String]) {
     }
 }
 
+/// Fold one region (`--region R`) or many regions from **one** trace
+/// pass (`--regions a,b,c` or `--regions all`), with the per-region
+/// fold work spread over `--threads N` deterministic workers.
 fn cmd_fold(args: &[String]) {
     let mut src = load_source(args);
+    let threads: usize =
+        arg_value(args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+
+    if let Some(spec) = arg_value(args, "--regions") {
+        cmd_fold_multi(args, src.as_mut(), &spec, threads);
+        return;
+    }
+
     let region = arg_value(args, "--region").unwrap_or_else(|| usage());
-    let (folded, _scan) = match fold_region_source(src.as_mut(), &region, &FoldingConfig::default())
+    let (folded, scan) = match fold_region_source(src.as_mut(), &region, &FoldingConfig::default())
     {
         Ok(f) => f,
         Err(e) => {
@@ -396,6 +410,9 @@ fn cmd_fold(args: &[String]) {
     );
     print!("{}", ascii::address_panel(&folded, 96, 20));
     print!("{}", ascii::performance_panel(&folded, 80));
+    if args.iter().any(|a| a == "--stats") {
+        print_scan_stats(&scan);
+    }
 
     if let Some(dir) = arg_value(args, "--csv-dir") {
         // The figure bundle wants the whole trace, not just the
@@ -415,5 +432,79 @@ fn cmd_fold(args: &[String]) {
         )
         .expect("write bundle");
         eprintln!("wrote {} files to {dir}", files.len());
+    }
+}
+
+/// A region name reduced to a filesystem-safe CSV prefix.
+fn csv_prefix(region: &str) -> String {
+    region
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+/// The multi-region fold path: one scan of the source feeds every
+/// requested region's fold.
+fn cmd_fold_multi(args: &[String], src: &mut dyn TraceSource, spec: &str, threads: usize) {
+    let names: Vec<String> = if spec == "all" {
+        let header = src.header().unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", trace_path(args));
+            exit(1);
+        });
+        header.region_names.clone()
+    } else {
+        spec.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    };
+    if names.is_empty() {
+        eprintln!("--regions selected no regions");
+        exit(1);
+    }
+    let requests: Vec<RegionRequest> = names.iter().map(RegionRequest::new).collect();
+    let (results, scan) = match fold_regions_source(src, &requests, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fold failed: {e}");
+            exit(1);
+        }
+    };
+
+    let csv_dir = arg_value(args, "--csv-dir");
+    let trace_for_csv = csv_dir.as_ref().map(|_| {
+        src.materialize().unwrap_or_else(|e| {
+            eprintln!("cannot load {}: {e}", trace_path(args));
+            exit(1);
+        })
+    });
+    for (region, result) in names.iter().zip(&results) {
+        match result {
+            Ok(folded) => {
+                println!(
+                    "folded {} instances of {region:?} (rejected {}), mean {:.3} ms, mean {:.0} MIPS",
+                    folded.instances_used,
+                    folded.instances_rejected,
+                    folded.duration_ms(),
+                    folded.mean_mips()
+                );
+                print!("{}", ascii::performance_panel(folded, 80));
+                if let (Some(dir), Some(t)) = (&csv_dir, &trace_for_csv) {
+                    let phases =
+                        iteration_phases(t, region, "ComputeSYMGS_ref", "ComputeSPMV_ref", 0);
+                    let files = figure::write_figure_bundle(
+                        std::path::Path::new(dir),
+                        &format!("fold_{}", csv_prefix(region)),
+                        &format!("{} — folded {}", t.meta.description, region),
+                        folded,
+                        t,
+                        &phases,
+                    )
+                    .expect("write bundle");
+                    eprintln!("wrote {} files to {dir} for {region:?}", files.len());
+                }
+            }
+            Err(e) => println!("{region:?}: not folded ({e})"),
+        }
+    }
+    if args.iter().any(|a| a == "--stats") {
+        print_scan_stats(&scan);
     }
 }

@@ -119,21 +119,17 @@ pub fn lines_panel(folded: &FoldedRegion, width: usize, max_rows: usize) -> Stri
     if pts.is_empty() {
         return "(no line samples)\n".to_string();
     }
-    // Collect distinct lines with sample counts.
-    let mut by_line: std::collections::BTreeMap<(String, u32), Vec<f64>> =
+    // Collect distinct lines with sample counts; file names stay
+    // borrowed from the pooled string table (no per-sample clone).
+    let mut by_line: std::collections::BTreeMap<(&str, u32), Vec<f64>> =
         std::collections::BTreeMap::new();
     for p in pts {
-        let key = (
-            p.file.clone().unwrap_or_else(|| "?".into()),
-            p.line.unwrap_or(0),
-        );
+        let key = (p.file_name(&folded.pooled).unwrap_or("?"), p.line.unwrap_or(0));
         by_line.entry(key).or_default().push(p.x);
     }
     // Keep the busiest rows if there are too many.
-    let mut keys: Vec<((String, u32), usize)> = by_line
-        .iter()
-        .map(|(k, v)| (k.clone(), v.len()))
-        .collect();
+    let mut keys: Vec<((&str, u32), usize)> =
+        by_line.iter().map(|(k, v)| (*k, v.len())).collect();
     if keys.len() > max_rows {
         keys.sort_by_key(|k| std::cmp::Reverse(k.1));
         keys.truncate(max_rows);
@@ -149,7 +145,7 @@ pub fn lines_panel(folded: &FoldedRegion, width: usize, max_rows: usize) -> Stri
     let _ = writeln!(out, "code lines (top panel); '*' = sample");
     for ((file, line), _) in &keys {
         let mut row = vec![b' '; width];
-        for &x in &by_line[&(file.clone(), *line)] {
+        for &x in &by_line[&(*file, *line)] {
             let col = ((x * width as f64) as usize).min(width - 1);
             row[col] = b'*';
         }
@@ -216,7 +212,10 @@ mod tests {
     use mempersp_folding::{AddrPoint, FoldedCounter, MonotoneCurve, PooledSamples};
     use mempersp_memsim::MemLevel;
 
+    #[allow(clippy::field_reassign_with_default)]
     fn folded_with_points(points: Vec<AddrPoint>) -> FoldedRegion {
+        let mut pooled = PooledSamples::default();
+        pooled.addr_points = points;
         FoldedRegion {
             region: "it".into(),
             instances_used: 1,
@@ -232,11 +231,7 @@ mod tests {
                     points: 0,
                 })
                 .collect(),
-            pooled: PooledSamples {
-                counter_points: vec![Vec::new(); EventKind::ALL.len()],
-                addr_points: points,
-                line_points: Vec::new(),
-            },
+            pooled,
         }
     }
 
@@ -294,10 +289,12 @@ mod tests {
     fn lines_panel_rows_and_marks() {
         use mempersp_folding::LinePoint;
         let mut f = folded_with_points(vec![]);
+        let a = f.pooled.intern_file("a.cpp");
+        let b = f.pooled.intern_file("b.cpp");
         f.pooled.line_points = vec![
-            LinePoint { x: 0.1, ip: 1, file: Some("a.cpp".into()), line: Some(10) },
-            LinePoint { x: 0.9, ip: 1, file: Some("a.cpp".into()), line: Some(10) },
-            LinePoint { x: 0.5, ip: 2, file: Some("b.cpp".into()), line: Some(20) },
+            LinePoint { x: 0.1, ip: 1, file: Some(a), line: Some(10) },
+            LinePoint { x: 0.9, ip: 1, file: Some(a), line: Some(10) },
+            LinePoint { x: 0.5, ip: 2, file: Some(b), line: Some(20) },
         ];
         let s = lines_panel(&f, 20, 10);
         assert!(s.contains("a.cpp:10"));
@@ -310,6 +307,7 @@ mod tests {
     fn lines_panel_truncates_to_busiest() {
         use mempersp_folding::LinePoint;
         let mut f = folded_with_points(vec![]);
+        let fcpp = f.pooled.intern_file("f.cpp");
         for i in 0..20u32 {
             // line 0 gets many samples, others one each.
             let reps = if i == 0 { 10 } else { 1 };
@@ -317,7 +315,7 @@ mod tests {
                 f.pooled.line_points.push(LinePoint {
                     x: (r as f64) / 10.0,
                     ip: i as u64,
-                    file: Some("f.cpp".into()),
+                    file: Some(fcpp),
                     line: Some(i),
                 });
             }

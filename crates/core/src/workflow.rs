@@ -8,7 +8,7 @@ use crate::analysis::phases::{iteration_phases, Phase};
 use crate::analysis::sweeps::{sweep_split_x, symgs_sweeps, SweepInfo};
 use crate::machine::{Machine, MachineConfig, RunReport};
 use mempersp_extrae::ObjectId;
-use mempersp_folding::{fold_region, FoldedRegion, FoldingConfig};
+use mempersp_folding::{fold_regions, FoldedRegion, FoldingConfig, RegionRequest};
 use mempersp_hpcg::generate::{expected_matrix_group_bytes, GROUP_MAP, GROUP_MATRIX};
 use mempersp_hpcg::kernels::{SYMGS_BWD_LINES, SYMGS_FILE, SYMGS_FWD_LINES};
 use mempersp_hpcg::{regions, Geometry, HpcgConfig, HpcgWorkload};
@@ -43,22 +43,31 @@ pub struct HpcgAnalysis {
 /// Run the benchmark and the full analysis.
 pub fn analyze_hpcg(machine_cfg: MachineConfig, hpcg_cfg: HpcgConfig) -> HpcgAnalysis {
     let geom = Geometry::cube(hpcg_cfg.nx);
+    // The simulator's worker count doubles as the fold engine's.
+    let fold_threads = machine_cfg.threads.max(1);
     let mut machine = Machine::new(machine_cfg);
     let mut workload = HpcgWorkload::new(hpcg_cfg);
     let report = machine.run(&mut workload);
     let trace = &report.trace;
 
-    let fold_cfg = FoldingConfig::default();
-    let folded_iteration =
-        fold_region(trace, regions::CG_ITERATION, &fold_cfg).expect("CG iterations present");
-    // The SYMGS region has instances at every MG level; fold only the
-    // slowest duration cluster — the fine-level calls the figure shows.
+    // Both regions fold from one pass over the trace. The SYMGS region
+    // has instances at every MG level; fold only the slowest duration
+    // cluster — the fine-level calls the figure shows.
     let symgs_cfg = FoldingConfig {
         filter: mempersp_folding::InstanceFilter::slowest_cluster(0.5),
         ..FoldingConfig::default()
     };
-    let folded_symgs =
-        fold_region(trace, regions::SYMGS, &symgs_cfg).expect("SYMGS instances present");
+    let mut folded = fold_regions(
+        trace,
+        &[
+            RegionRequest::new(regions::CG_ITERATION),
+            RegionRequest::with_cfg(regions::SYMGS, symgs_cfg),
+        ],
+        fold_threads,
+    );
+    let folded_symgs = folded.pop().expect("two fold slots").expect("SYMGS instances present");
+    let folded_iteration =
+        folded.pop().expect("two fold slots").expect("CG iterations present");
 
     let phases = iteration_phases(trace, regions::CG_ITERATION, regions::SYMGS, regions::SPMV, 0);
 

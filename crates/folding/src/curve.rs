@@ -44,8 +44,13 @@ impl MonotoneCurve {
         Self::from_knots(&[])
     }
 
-    /// Evaluate y(x); x is clamped into [0, 1].
+    /// Evaluate y(x); x is clamped into [0, 1]. NaN input evaluates to
+    /// 0.0 (clamp passes NaN through, which would otherwise panic in
+    /// the knot search below).
     pub fn eval(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return 0.0;
+        }
         let x = x.clamp(0.0, 1.0);
         match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
             Ok(i) => self.ys[i],
@@ -59,8 +64,13 @@ impl MonotoneCurve {
     }
 
     /// Instantaneous slope dy/dx at x (right-continuous; at x = 1 the
-    /// last segment's slope).
+    /// last segment's slope). NaN input yields 0.0, like [`eval`].
+    ///
+    /// [`eval`]: MonotoneCurve::eval
     pub fn slope(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return 0.0;
+        }
         let x = x.clamp(0.0, 1.0);
         let i = match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
             Ok(i) => i.min(self.xs.len() - 2),
@@ -127,6 +137,15 @@ mod tests {
         let c = MonotoneCurve::identity();
         assert_eq!(c.eval(-3.0), 0.0);
         assert_eq!(c.eval(7.0), 1.0);
+        assert_eq!(c.eval(f64::NEG_INFINITY), 0.0);
+        assert_eq!(c.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn nan_input_is_defined_not_a_panic() {
+        let c = MonotoneCurve::from_knots(&[(0.5, 0.8)]);
+        assert_eq!(c.eval(f64::NAN), 0.0);
+        assert_eq!(c.slope(f64::NAN), 0.0);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! The top-level folding pipeline and the folded-region report.
 
 use crate::curve::MonotoneCurve;
-use crate::instances::{collect_instances, InstanceFilter, RegionInstance};
-use crate::pava::pava_nondecreasing;
-use crate::pool::{pool_samples, PooledSamples};
-use mempersp_extrae::query::{EventClass, Query};
+use crate::engine::{fold_regions, fold_regions_source, RegionRequest};
+use crate::instances::InstanceFilter;
+use crate::pool::PooledSamples;
 use mempersp_extrae::trace_source::{ScanStats, TraceSource};
 use mempersp_extrae::Trace;
 use mempersp_pebs::EventKind;
@@ -201,13 +200,13 @@ impl FoldedRegion {
     /// so 0.01 ≈ "the fit is within 1 % of an instance total").
     /// `None` when the counter has no pooled points.
     pub fn fit_rmse(&self, kind: EventKind) -> Option<f64> {
-        let pts = self.pooled.counter(kind);
-        if pts.is_empty() {
+        let (xs, ys) = self.pooled.counter_xy(kind);
+        if xs.is_empty() {
             return None;
         }
         let curve = &self.counter(kind).curve;
-        let sse: f64 = pts.iter().map(|&(x, y)| (curve.eval(x) - y).powi(2)).sum();
-        Some((sse / pts.len() as f64).sqrt())
+        let sse: f64 = xs.iter().zip(ys).map(|(&x, &y)| (curve.eval(x) - y).powi(2)).sum();
+        Some((sse / xs.len() as f64).sqrt())
     }
 
     /// Aggregate MIPS over the whole folded instance (total
@@ -220,44 +219,6 @@ impl FoldedRegion {
             self.counter(EventKind::Instructions).avg_total / dur_s / 1e6
         }
     }
-}
-
-/// Fit one counter's pooled points with the configured model.
-fn fit_counter(points: &[(f64, f64)], bins: usize, fit: FitModel) -> MonotoneCurve {
-    if points.is_empty() {
-        return MonotoneCurve::identity();
-    }
-    // Bin by x over (0,1); each populated bin contributes one knot at
-    // the *mean sample position* (not the bin centre — anchoring the
-    // knot where the samples actually sit keeps slopes undistorted
-    // when sampling is sparse relative to the bin count).
-    let mut sums_y = vec![0.0f64; bins];
-    let mut sums_x = vec![0.0f64; bins];
-    let mut counts = vec![0.0f64; bins];
-    for &(x, y) in points {
-        let b = ((x * bins as f64) as usize).min(bins - 1);
-        sums_y[b] += y;
-        sums_x[b] += x;
-        counts[b] += 1.0;
-    }
-    let mut knot_xs = Vec::with_capacity(bins);
-    let mut means = Vec::with_capacity(bins);
-    let mut weights = Vec::with_capacity(bins);
-    for b in 0..bins {
-        if counts[b] > 0.0 {
-            // Clamp into the open interval required by the curve; only
-            // the first/last bins can produce boundary means.
-            knot_xs.push((sums_x[b] / counts[b]).clamp(1e-9, 1.0 - 1e-9));
-            means.push(sums_y[b] / counts[b]);
-            weights.push(counts[b]);
-        }
-    }
-    let fitted = match fit {
-        FitModel::Isotonic => pava_nondecreasing(&means, &weights),
-        FitModel::BinnedMean => means,
-    };
-    let knots: Vec<(f64, f64)> = knot_xs.into_iter().zip(fitted).collect();
-    MonotoneCurve::from_knots(&knots)
 }
 
 /// Run the folding pipeline for `region` over the whole trace.
@@ -288,43 +249,9 @@ fn fit_counter(points: &[(f64, f64)], bins: usize, fit: FitModel) -> MonotoneCur
 /// assert!((mid - 500.0).abs() < 50.0);
 /// ```
 pub fn fold_region(trace: &Trace, region: &str, cfg: &FoldingConfig) -> Result<FoldedRegion, FoldError> {
-    let id = trace
-        .region_id(region)
-        .ok_or_else(|| FoldError::UnknownRegion(region.to_string()))?;
-    let (instances, rejected) = collect_instances(trace, id, cfg.filter);
-    if instances.len() < cfg.min_instances.max(1) {
-        return Err(FoldError::TooFewInstances {
-            found: instances.len(),
-            need: cfg.min_instances.max(1),
-        });
-    }
-    let pooled = pool_samples(trace, &instances);
-    let avg_duration =
-        instances.iter().map(|i| i.duration() as f64).sum::<f64>() / instances.len() as f64;
-
-    let counters = EventKind::ALL
-        .iter()
-        .map(|&kind| {
-            let pts = pooled.counter(kind);
-            let avg_total = average_total(&instances, kind);
-            FoldedCounter {
-                kind,
-                curve: fit_counter(pts, cfg.bins, cfg.fit),
-                avg_total,
-                points: pts.len(),
-            }
-        })
-        .collect();
-
-    Ok(FoldedRegion {
-        region: region.to_string(),
-        instances_used: instances.len(),
-        instances_rejected: rejected,
-        avg_duration_cycles: avg_duration,
-        freq_mhz: trace.meta.freq_mhz,
-        counters,
-        pooled,
-    })
+    fold_regions(trace, &[RegionRequest::with_cfg(region, *cfg)], 1)
+        .pop()
+        .expect("one result per request")
 }
 
 /// [`fold_region`] over any [`TraceSource`]. Only the event kinds
@@ -337,22 +264,12 @@ pub fn fold_region_source(
     region: &str,
     cfg: &FoldingConfig,
 ) -> Result<(FoldedRegion, ScanStats), FoldError> {
-    let q = Query::all().with_kinds(&[
-        EventClass::RegionEnter,
-        EventClass::RegionExit,
-        EventClass::CounterSample,
-        EventClass::Pebs,
-    ]);
-    let (trace, stats) = source.filtered(&q).map_err(|e| FoldError::Io(e.to_string()))?;
-    fold_region(&trace, region, cfg).map(|folded| (folded, stats))
-}
-
-fn average_total(instances: &[RegionInstance], kind: EventKind) -> f64 {
-    instances
-        .iter()
-        .map(|i| i.counters_out.get(kind).saturating_sub(i.counters_in.get(kind)) as f64)
-        .sum::<f64>()
-        / instances.len() as f64
+    let (mut results, stats) =
+        fold_regions_source(source, &[RegionRequest::with_cfg(region, *cfg)], 1)?;
+    results
+        .pop()
+        .expect("one result per request")
+        .map(|folded| (folded, stats))
 }
 
 #[cfg(test)]

@@ -80,37 +80,82 @@ pub fn collect_instances(
     region: RegionId,
     filter: InstanceFilter,
 ) -> (Vec<RegionInstance>, usize) {
-    let mut all: Vec<RegionInstance> = Vec::new();
-    for core in 0..trace.meta.num_cores {
-        let mut depth = 0u32;
-        let mut start: Option<(u64, CounterSnapshot)> = None;
-        for e in trace.events.iter().filter(|e| e.core == core) {
-            match &e.payload {
-                EventPayload::RegionEnter { region: r, counters } if *r == region => {
-                    if depth == 0 {
-                        start = Some((e.cycles, *counters));
+    collect_instances_multi(trace, &[region], &[filter])
+        .pop()
+        .expect("one slot per requested region")
+}
+
+/// [`collect_instances`] for many regions in **one pass** over the
+/// trace events: per-(region, core) depth counters track top-level
+/// nesting for every requested region simultaneously, so folding N
+/// regions costs one event scan instead of N.
+///
+/// `regions[s]` and `filters[s]` describe slot `s`; the result keeps
+/// slot order. Duplicate region ids are allowed (each slot accumulates
+/// independently).
+pub fn collect_instances_multi(
+    trace: &Trace,
+    regions: &[RegionId],
+    filters: &[InstanceFilter],
+) -> Vec<(Vec<RegionInstance>, usize)> {
+    assert_eq!(regions.len(), filters.len(), "one filter per region");
+    let nr = regions.len();
+    let nc = trace.meta.num_cores;
+    let mut all: Vec<Vec<RegionInstance>> = vec![Vec::new(); nr];
+    // State arrays indexed slot * num_cores + core.
+    let mut depth = vec![0u32; nr * nc];
+    let mut start: Vec<Option<(u64, CounterSnapshot)>> = vec![None; nr * nc];
+    for e in &trace.events {
+        if e.core >= nc {
+            continue;
+        }
+        match &e.payload {
+            EventPayload::RegionEnter { region: r, counters } => {
+                for (slot, reg) in regions.iter().enumerate() {
+                    if reg == r {
+                        let s = slot * nc + e.core;
+                        if depth[s] == 0 {
+                            start[s] = Some((e.cycles, *counters));
+                        }
+                        depth[s] += 1;
                     }
-                    depth += 1;
                 }
-                EventPayload::RegionExit { region: r, counters } if *r == region
-                    && depth > 0 => {
-                        depth -= 1;
-                        if depth == 0 {
-                            let (s, cin) = start.take().expect("enter recorded");
-                            all.push(RegionInstance {
-                                core,
-                                start_cycles: s,
+            }
+            EventPayload::RegionExit { region: r, counters } => {
+                for (slot, reg) in regions.iter().enumerate() {
+                    if reg == r && depth[slot * nc + e.core] > 0 {
+                        let s = slot * nc + e.core;
+                        depth[s] -= 1;
+                        if depth[s] == 0 {
+                            let (st, cin) = start[s].take().expect("enter recorded");
+                            all[slot].push(RegionInstance {
+                                core: e.core,
+                                start_cycles: st,
                                 end_cycles: e.cycles,
                                 counters_in: cin,
                                 counters_out: *counters,
                             });
                         }
                     }
-                _ => {}
+                }
             }
+            _ => {}
         }
     }
+    // The legacy single-region collector walked cores in the outer
+    // loop, producing core-major, start-ascending order; reproduce it
+    // so downstream instance indices are byte-identical.
+    for v in &mut all {
+        v.sort_by_key(|i| (i.core, i.start_cycles, i.end_cycles));
+    }
+    all.into_iter()
+        .zip(filters)
+        .map(|(v, &f)| apply_filter(v, f))
+        .collect()
+}
 
+/// Apply the outlier filter to one region's collected instances.
+fn apply_filter(mut all: Vec<RegionInstance>, filter: InstanceFilter) -> (Vec<RegionInstance>, usize) {
     if all.is_empty() {
         return (all, 0);
     }
@@ -254,6 +299,30 @@ mod tests {
         let (kept, _) = collect_instances(&tr, id, InstanceFilter::default());
         assert_eq!(kept.len(), 2);
         assert_eq!(kept.iter().map(|i| i.core).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn multi_matches_per_region_collection() {
+        let mut t = Tracer::new(TracerConfig::default(), 2);
+        let c = CounterSnapshot::default();
+        // Interleaved + nested instances of two regions on two cores.
+        t.enter(0, "A", c, 0);
+        t.enter(0, "B", c, 10);
+        t.exit(0, "B", c, 20);
+        t.exit(0, "A", c, 100);
+        t.enter(1, "B", c, 5);
+        t.exit(1, "B", c, 15);
+        t.enter(1, "A", c, 30);
+        t.exit(1, "A", c, 130);
+        let tr = t.finish("multi");
+        let a = tr.region_id("A").unwrap();
+        let b = tr.region_id("B").unwrap();
+        let f = InstanceFilter::default();
+        let multi = collect_instances_multi(&tr, &[a, b], &[f, f]);
+        assert_eq!(multi[0], collect_instances(&tr, a, f));
+        assert_eq!(multi[1], collect_instances(&tr, b, f));
+        assert_eq!(multi[0].0.len(), 2);
+        assert_eq!(multi[1].0.len(), 2);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod cluster;
 pub mod curve;
+pub mod engine;
 pub mod fold;
 pub mod instances;
 pub mod pava;
@@ -30,9 +31,10 @@ pub mod pool;
 
 pub use cluster::{cluster_by_duration, DurationCluster};
 pub use curve::MonotoneCurve;
+pub use engine::{fold_regions, fold_regions_source, RegionRequest, FOLD_KINDS};
 pub use fold::{
     fold_region, fold_region_source, FitModel, FoldError, FoldedCounter, FoldedRegion,
     FoldingConfig,
 };
-pub use instances::{collect_instances, InstanceFilter, RegionInstance};
-pub use pool::{AddrPoint, LinePoint, PooledSamples};
+pub use instances::{collect_instances, collect_instances_multi, InstanceFilter, RegionInstance};
+pub use pool::{pool_all, pool_samples, AddrPoint, FileId, LinePoint, PooledSamples};

@@ -6,6 +6,15 @@
 //! the *address* panel and (through their instruction pointer) to the
 //! *source-line* panel; timer samples contribute to the source-line
 //! and *performance* panels.
+//!
+//! Pooling is **single-pass and multi-region**: [`pool_all`] walks the
+//! trace once and dispatches every sample into the accumulators of all
+//! regions whose instances contain it. Counter points are stored as
+//! structure-of-arrays (`counter_xs` / `counter_ys`) so the binning
+//! pass in the fold engine streams two flat `f64` buffers, and source
+//! files are interned into a per-region string table ([`FileId`]) so a
+//! dense code-line panel costs 4 bytes per sample instead of a cloned
+//! `String`.
 
 use crate::instances::RegionInstance;
 use mempersp_extrae::events::EventPayload;
@@ -13,6 +22,10 @@ use mempersp_extrae::{ObjectId, Trace};
 use mempersp_memsim::MemLevel;
 use mempersp_pebs::EventKind;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NKINDS: usize = EventKind::ALL.len();
 
 /// One folded memory-access sample (middle panel of Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,35 +44,101 @@ pub struct AddrPoint {
     pub instance: usize,
 }
 
+/// Index into the interned source-file table of a [`PooledSamples`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
 /// One folded code-line sample (top panel of Fig. 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinePoint {
     pub x: f64,
     pub ip: u64,
-    /// Resolved source coordinates (None for unknown ips).
-    pub file: Option<String>,
+    /// Resolved source file, interned in the owning
+    /// [`PooledSamples::files`] table (None for unknown ips).
+    pub file: Option<FileId>,
     pub line: Option<u32>,
 }
 
+impl LinePoint {
+    /// The resolved source-file name, looked up in the string table of
+    /// the [`PooledSamples`] this point belongs to.
+    pub fn file_name<'a>(&self, pooled: &'a PooledSamples) -> Option<&'a str> {
+        self.file.map(|id| pooled.file_name(id))
+    }
+}
+
 /// All pooled samples of one folded region.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PooledSamples {
     /// Per counter kind (indexed by [`EventKind::index`]): normalized
-    /// (time, progress) points.
-    pub counter_points: Vec<Vec<(f64, f64)>>,
+    /// sample times. `counter_xs[k][i]` pairs with `counter_ys[k][i]`.
+    pub(crate) counter_xs: Vec<Vec<f64>>,
+    /// Normalized counter progress, parallel to `counter_xs`.
+    pub(crate) counter_ys: Vec<Vec<f64>>,
     pub addr_points: Vec<AddrPoint>,
     pub line_points: Vec<LinePoint>,
+    /// Interned source-file names referenced by [`LinePoint::file`].
+    pub(crate) files: Vec<Arc<str>>,
+}
+
+impl Default for PooledSamples {
+    fn default() -> Self {
+        Self {
+            counter_xs: vec![Vec::new(); NKINDS],
+            counter_ys: vec![Vec::new(); NKINDS],
+            addr_points: Vec::new(),
+            line_points: Vec::new(),
+            files: Vec::new(),
+        }
+    }
 }
 
 impl PooledSamples {
-    /// Points pooled for one counter.
-    pub fn counter(&self, kind: EventKind) -> &[(f64, f64)] {
-        &self.counter_points[kind.index()]
+    /// The (times, progress) SoA buffers pooled for one counter.
+    pub fn counter_xy(&self, kind: EventKind) -> (&[f64], &[f64]) {
+        (&self.counter_xs[kind.index()], &self.counter_ys[kind.index()])
+    }
+
+    /// Iterate one counter's pooled points as (time, progress) pairs.
+    pub fn counter_points(&self, kind: EventKind) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let (xs, ys) = self.counter_xy(kind);
+        xs.iter().copied().zip(ys.iter().copied())
+    }
+
+    /// Number of points pooled for one counter.
+    pub fn counter_len(&self, kind: EventKind) -> usize {
+        self.counter_xs[kind.index()].len()
+    }
+
+    /// Append one counter point.
+    pub(crate) fn push_counter(&mut self, kind: EventKind, x: f64, y: f64) {
+        self.counter_xs[kind.index()].push(x);
+        self.counter_ys[kind.index()].push(y);
+    }
+
+    /// Intern a source-file name, returning its id (existing entries
+    /// are reused; the table is small — one entry per distinct file).
+    pub fn intern_file(&mut self, name: &str) -> FileId {
+        if let Some(i) = self.files.iter().position(|f| &**f == name) {
+            return FileId(i as u32);
+        }
+        self.files.push(Arc::from(name));
+        FileId((self.files.len() - 1) as u32)
+    }
+
+    /// Resolve an interned file id back to its name.
+    pub fn file_name(&self, id: FileId) -> &str {
+        &self.files[id.0 as usize]
+    }
+
+    /// The interned source-file table.
+    pub fn files(&self) -> &[Arc<str>] {
+        &self.files
     }
 
     /// Total pooled sample count (all panels).
     pub fn len(&self) -> usize {
-        self.counter_points.iter().map(Vec::len).sum::<usize>()
+        self.counter_xs.iter().map(Vec::len).sum::<usize>()
             + self.addr_points.len()
             + self.line_points.len()
     }
@@ -67,83 +146,181 @@ impl PooledSamples {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-}
 
-/// Locate the kept instance containing a (core, cycles) point.
-fn find_instance(instances: &[RegionInstance], core: usize, cycles: u64) -> Option<usize> {
-    // Instances are few (hundreds); a linear scan keeps this simple
-    // and cache-friendly. Instances never overlap on one core.
-    instances
-        .iter()
-        .position(|i| i.core == core && i.contains(cycles))
-}
-
-/// Pool every in-instance sample of the trace into folded coordinates.
-pub fn pool_samples(trace: &Trace, instances: &[RegionInstance]) -> PooledSamples {
-    let mut out = PooledSamples {
-        counter_points: vec![Vec::new(); EventKind::ALL.len()],
-        addr_points: Vec::new(),
-        line_points: Vec::new(),
-    };
-
-    let resolve_line = |ip: u64| -> (Option<String>, Option<u32>) {
-        match trace.source.resolve(mempersp_extrae::Ip(ip)) {
-            Some(loc) => (Some(loc.file.clone()), Some(loc.line)),
-            None => (None, None),
+    /// Sort every panel into the deterministic order downstream
+    /// consumers rely on: counter points by (x, y), address and line
+    /// points by x (stable, preserving trace order among ties).
+    pub fn sort_deterministic(&mut self) {
+        let mut order = Vec::new();
+        let mut tmp = Vec::new();
+        for k in 0..NKINDS {
+            sort_pairs_with(&mut self.counter_xs[k], &mut self.counter_ys[k], &mut order, &mut tmp);
         }
+        self.addr_points
+            .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("no NaN coordinates"));
+        self.line_points
+            .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("no NaN coordinates"));
+    }
+}
+
+/// Stable-sort the parallel (xs, ys) buffers by (x, y), reusing the
+/// caller's index/scratch buffers to avoid per-counter allocation.
+pub(crate) fn sort_pairs_with(
+    xs: &mut [f64],
+    ys: &mut [f64],
+    order: &mut Vec<u32>,
+    tmp: &mut Vec<f64>,
+) {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n <= 1 {
+        return;
+    }
+    order.clear();
+    order.extend(0..n as u32);
+    order.sort_by(|&a, &b| {
+        let ka = (xs[a as usize], ys[a as usize]);
+        let kb = (xs[b as usize], ys[b as usize]);
+        ka.partial_cmp(&kb).expect("no NaN coordinates")
+    });
+    tmp.clear();
+    tmp.extend(order.iter().map(|&i| xs[i as usize]));
+    xs.copy_from_slice(tmp);
+    tmp.clear();
+    tmp.extend(order.iter().map(|&i| ys[i as usize]));
+    ys.copy_from_slice(tmp);
+}
+
+/// Per-core interval index over one region's kept instances; replaces
+/// the per-sample linear scan with a binary search.
+struct InstanceIndex {
+    /// Per core: (start, end, index into the instances slice), sorted
+    /// by start. Top-level instances never overlap on one core.
+    per_core: Vec<Vec<(u64, u64, u32)>>,
+}
+
+impl InstanceIndex {
+    fn new(instances: &[RegionInstance], num_cores: usize) -> Self {
+        let mut per_core = vec![Vec::new(); num_cores];
+        for (i, inst) in instances.iter().enumerate() {
+            if inst.core < num_cores {
+                per_core[inst.core].push((inst.start_cycles, inst.end_cycles, i as u32));
+            }
+        }
+        for v in &mut per_core {
+            v.sort_by_key(|&(s, e, _)| (s, e));
+        }
+        Self { per_core }
+    }
+
+    /// First instance containing (core, cycles). On a shared boundary
+    /// (one instance ends where the next starts) the earlier instance
+    /// wins, matching the legacy first-containing linear scan.
+    fn find(&self, core: usize, cycles: u64) -> Option<usize> {
+        let v = self.per_core.get(core)?;
+        let i = v.partition_point(|&(_, e, _)| e < cycles);
+        let &(s, _, idx) = v.get(i)?;
+        (s <= cycles).then_some(idx as usize)
+    }
+}
+
+type LineMemo = HashMap<u64, (Option<FileId>, Option<u32>)>;
+
+/// Resolve an ip to interned source coordinates, memoized per region
+/// (each region owns its string table, so ids are region-local).
+fn resolve_line(
+    trace: &Trace,
+    memo: &mut LineMemo,
+    samples: &mut PooledSamples,
+    ip: u64,
+) -> (Option<FileId>, Option<u32>) {
+    if let Some(&r) = memo.get(&ip) {
+        return r;
+    }
+    let r = match trace.source.resolve(mempersp_extrae::Ip(ip)) {
+        Some(loc) => (Some(samples.intern_file(&loc.file)), Some(loc.line)),
+        None => (None, None),
     };
+    memo.insert(ip, r);
+    r
+}
+
+/// Pool every in-instance sample of the trace into folded coordinates
+/// for **all** regions in one pass over the events. `kept[s]` holds
+/// region `s`'s kept instances; a sample contributes to every region
+/// whose instance contains it (nested regions pool concurrently).
+///
+/// The returned panels are **unsorted** (trace order); callers sort
+/// via [`PooledSamples::sort_deterministic`] or the fold engine's
+/// per-panel work items.
+pub fn pool_all(trace: &Trace, kept: &[&[RegionInstance]]) -> Vec<PooledSamples> {
+    let nslots = kept.len();
+    let mut out: Vec<PooledSamples> = (0..nslots).map(|_| PooledSamples::default()).collect();
+    if nslots == 0 {
+        return out;
+    }
+    let indices: Vec<InstanceIndex> = kept
+        .iter()
+        .map(|k| InstanceIndex::new(k, trace.meta.num_cores))
+        .collect();
+    let mut memos: Vec<LineMemo> = vec![LineMemo::new(); nslots];
 
     for e in &trace.events {
         match &e.payload {
             EventPayload::CounterSample { ip, counters, .. } => {
-                let Some(idx) = find_instance(instances, e.core, e.cycles) else {
-                    continue;
-                };
-                let inst = &instances[idx];
-                let x = inst.normalize(e.cycles);
-                for kind in EventKind::ALL {
-                    let c0 = inst.counters_in.get(kind);
-                    let c1 = inst.counters_out.get(kind);
-                    if c1 <= c0 {
-                        continue; // counter did not advance in this instance
+                for slot in 0..nslots {
+                    let Some(idx) = indices[slot].find(e.core, e.cycles) else {
+                        continue;
+                    };
+                    let inst = &kept[slot][idx];
+                    let x = inst.normalize(e.cycles);
+                    for kind in EventKind::ALL {
+                        let c0 = inst.counters_in.get(kind);
+                        let c1 = inst.counters_out.get(kind);
+                        if c1 <= c0 {
+                            continue; // counter did not advance in this instance
+                        }
+                        let c = counters.get(kind).clamp(c0, c1);
+                        let y = (c - c0) as f64 / (c1 - c0) as f64;
+                        out[slot].push_counter(kind, x, y);
                     }
-                    let c = counters.get(kind).clamp(c0, c1);
-                    let y = (c - c0) as f64 / (c1 - c0) as f64;
-                    out.counter_points[kind.index()].push((x, y));
+                    let (file, line) = resolve_line(trace, &mut memos[slot], &mut out[slot], ip.0);
+                    out[slot].line_points.push(LinePoint { x, ip: ip.0, file, line });
                 }
-                let (file, line) = resolve_line(ip.0);
-                out.line_points.push(LinePoint { x, ip: ip.0, file, line });
             }
             EventPayload::Pebs { sample, object } => {
-                let Some(idx) = find_instance(instances, sample.core, sample.timestamp) else {
-                    continue;
-                };
-                let inst = &instances[idx];
-                let x = inst.normalize(sample.timestamp);
-                out.addr_points.push(AddrPoint {
-                    x,
-                    addr: sample.addr,
-                    ip: sample.ip,
-                    is_store: sample.is_store,
-                    latency: sample.latency,
-                    source: sample.source,
-                    object: *object,
-                    instance: idx,
-                });
-                let (file, line) = resolve_line(sample.ip);
-                out.line_points.push(LinePoint { x, ip: sample.ip, file, line });
+                for slot in 0..nslots {
+                    let Some(idx) = indices[slot].find(sample.core, sample.timestamp) else {
+                        continue;
+                    };
+                    let inst = &kept[slot][idx];
+                    let x = inst.normalize(sample.timestamp);
+                    out[slot].addr_points.push(AddrPoint {
+                        x,
+                        addr: sample.addr,
+                        ip: sample.ip,
+                        is_store: sample.is_store,
+                        latency: sample.latency,
+                        source: sample.source,
+                        object: *object,
+                        instance: idx,
+                    });
+                    let (file, line) =
+                        resolve_line(trace, &mut memos[slot], &mut out[slot], sample.ip);
+                    out[slot].line_points.push(LinePoint { x, ip: sample.ip, file, line });
+                }
             }
             _ => {}
         }
     }
-    // Deterministic ordering for downstream consumers.
-    for pts in &mut out.counter_points {
-        pts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN coordinates"));
-    }
-    out.addr_points
-        .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("no NaN coordinates"));
-    out.line_points
-        .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("no NaN coordinates"));
+    out
+}
+
+/// Pool every in-instance sample of the trace into folded coordinates
+/// for one region, deterministically sorted.
+pub fn pool_samples(trace: &Trace, instances: &[RegionInstance]) -> PooledSamples {
+    let mut out = pool_all(trace, &[instances]).pop().expect("one slot");
+    out.sort_deterministic();
     out
 }
 
@@ -197,7 +374,7 @@ mod tests {
         let tr = make_trace();
         let inst = kept(&tr);
         let p = pool_samples(&tr, &inst);
-        let pts = p.counter(EventKind::Instructions);
+        let pts: Vec<(f64, f64)> = p.counter_points(EventKind::Instructions).collect();
         assert_eq!(pts.len(), 2);
         // First instance: t=25 -> x=0.25, counters 250/1000.
         assert!((pts[0].0 - 0.25).abs() < 1e-12);
@@ -213,7 +390,7 @@ mod tests {
         let inst = kept(&tr);
         let p = pool_samples(&tr, &inst);
         // 2 counter samples inside instances (the t=150 one dropped).
-        assert_eq!(p.counter(EventKind::Instructions).len(), 2);
+        assert_eq!(p.counter_len(EventKind::Instructions), 2);
         // line points: 2 counter samples + 1 pebs = 3.
         assert_eq!(p.line_points.len(), 3);
     }
@@ -237,9 +414,10 @@ mod tests {
         let tr = make_trace();
         let inst = kept(&tr);
         let p = pool_samples(&tr, &inst);
-        let lp = &p.line_points[0];
-        assert_eq!(lp.file.as_deref(), Some("k.cpp"));
+        let lp = p.line_points[0];
+        assert_eq!(lp.file_name(&p), Some("k.cpp"));
         assert_eq!(lp.line, Some(42));
+        assert_eq!(p.files().len(), 1, "one distinct file interned once");
     }
 
     #[test]
@@ -248,7 +426,7 @@ mod tests {
         let inst = kept(&tr);
         let p = pool_samples(&tr, &inst);
         // Branches never advance in the synthetic trace.
-        assert!(p.counter(EventKind::Branches).is_empty());
+        assert_eq!(p.counter_len(EventKind::Branches), 0);
         assert!(!p.is_empty());
     }
 
@@ -264,8 +442,51 @@ mod tests {
         let tr = t.finish("clamp");
         let inst = kept(&tr);
         let p = pool_samples(&tr, &inst);
-        let pts = p.counter(EventKind::Instructions);
+        let pts: Vec<(f64, f64)> = p.counter_points(EventKind::Instructions).collect();
         assert_eq!(pts.len(), 1);
         assert!(pts[0].1 <= 1.0);
+    }
+
+    #[test]
+    fn pool_all_nested_regions_share_one_pass() {
+        // inner nests inside outer; the one sample lands in both.
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        let ip = t.location("k.cpp", 7, "k");
+        t.enter(0, "outer", ctr(0), 0);
+        t.enter(0, "inner", ctr(100), 40);
+        t.record_counter_sample(0, ip, ctr(150), 50);
+        t.exit(0, "inner", ctr(200), 60);
+        t.exit(0, "outer", ctr(1000), 100);
+        let tr = t.finish("nested");
+        let get = |name: &str| {
+            let id = tr.region_id(name).unwrap();
+            crate::instances::collect_instances(
+                &tr,
+                id,
+                crate::instances::InstanceFilter::default(),
+            )
+            .0
+        };
+        let outer = get("outer");
+        let inner = get("inner");
+        let pooled = pool_all(&tr, &[&outer, &inner]);
+        assert_eq!(pooled.len(), 2);
+        assert_eq!(pooled[0].counter_len(EventKind::Instructions), 1);
+        assert_eq!(pooled[1].counter_len(EventKind::Instructions), 1);
+        // outer: x = 50/100; inner: x = (50-40)/20.
+        let (oxs, _) = pooled[0].counter_xy(EventKind::Instructions);
+        let (ixs, _) = pooled[1].counter_xy(EventKind::Instructions);
+        assert!((oxs[0] - 0.5).abs() < 1e-12);
+        assert!((ixs[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_all_matches_per_region_pooling() {
+        let tr = make_trace();
+        let inst = kept(&tr);
+        let mut multi = pool_all(&tr, &[&inst, &inst]).swap_remove(1);
+        multi.sort_deterministic();
+        let single = pool_samples(&tr, &inst);
+        assert_eq!(format!("{multi:?}"), format!("{single:?}"));
     }
 }

@@ -268,6 +268,43 @@ impl StoreReader {
         Ok((out, stats))
     }
 
+    /// Run several queries in **one pass** over the store: a chunk is
+    /// pruned only when *no* query's predicate can match it, decoded
+    /// at most once, and its events routed to every query whose
+    /// predicate they satisfy. Per-query results keep stored (trace)
+    /// order. The shared [`ScanStats`] counts each surviving chunk's
+    /// decode and scan once (`events_matched` sums across queries).
+    pub fn query_multi(&self, qs: &[Query]) -> io::Result<(Vec<Vec<TraceEvent>>, ScanStats)> {
+        let mut stats = ScanStats::default();
+        let mut outs: Vec<Vec<TraceEvent>> = qs.iter().map(|_| Vec::new()).collect();
+        if qs.is_empty() {
+            stats.chunks_skipped = self.metas.len() as u64;
+            return Ok((outs, stats));
+        }
+        for (idx, m) in self.metas.iter().enumerate() {
+            if !qs.iter().any(|q| m.may_match(q)) {
+                stats.chunks_skipped += 1;
+                continue;
+            }
+            let (chunk, decoded) = self.chunk(idx)?;
+            if decoded {
+                stats.chunks_decoded += 1;
+            } else {
+                stats.chunks_cached += 1;
+            }
+            stats.events_scanned += chunk.len() as u64;
+            for e in chunk.iter() {
+                for (q, out) in qs.iter().zip(&mut outs) {
+                    if q.matches(e) {
+                        stats.events_matched += 1;
+                        out.push(e.clone());
+                    }
+                }
+            }
+        }
+        Ok((outs, stats))
+    }
+
     /// Materialize the whole trace: header plus every event, in
     /// stored order.
     pub fn materialize(&self) -> io::Result<Trace> {
@@ -369,6 +406,58 @@ mod tests {
             assert_eq!(par, seq, "threads={threads}");
             assert_eq!(par_stats.events_matched, seq_stats.events_matched);
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_query_matches_individual_queries_with_one_decode_pass() {
+        let path = tmp("multi.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let qs = [
+            Query::all().in_time(0, 5_000).with_kinds(&[EventClass::User]),
+            Query::all().in_time(100_000, 150_000),
+            Query::all().with_kinds(&[EventClass::RegionEnter]),
+        ];
+        // Individual baselines on a fresh reader (cold cache).
+        let r1 = StoreReader::open(&path).unwrap();
+        let mut individual = Vec::new();
+        let mut decoded_sum = 0u64;
+        for q in &qs {
+            let (events, s) = r1.query(q).unwrap();
+            decoded_sum += s.chunks_decoded;
+            individual.push(events);
+        }
+        let r2 = StoreReader::open(&path).unwrap();
+        let (outs, stats) = r2.query_multi(&qs).unwrap();
+        assert_eq!(outs, individual);
+        assert!(
+            stats.chunks_decoded <= decoded_sum,
+            "one pass ({}) must not decode more than {} per-query decodes",
+            stats.chunks_decoded,
+            decoded_sum
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_query_prunes_chunks_no_query_needs() {
+        let path = tmp("multi_prune.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        // Two disjoint narrow windows leave most chunks untouched.
+        let qs = [Query::all().in_time(0, 2_000), Query::all().in_time(200_000, 202_000)];
+        let (outs, stats) = r.query_multi(&qs).unwrap();
+        assert!(stats.chunks_skipped > 0, "{stats:?}");
+        for (q, out) in qs.iter().zip(&outs) {
+            let expect: Vec<_> = t.events.iter().filter(|e| q.matches(e)).cloned().collect();
+            assert_eq!(out, &expect);
+        }
+        // No queries at all: everything skipped, nothing decoded.
+        let (empty, s0) = r.query_multi(&[]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(s0.chunks_decoded + s0.chunks_cached, 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,140 @@
+//! Property suite for the single-pass, multi-region folding engine:
+//! for any generated trace, folding every region concurrently — in
+//! memory or through either trace container, at any worker-thread
+//! count — must be byte-identical (Debug-serialized report) to the
+//! sequential per-region folds it replaced, and the `.mps` path must
+//! actually prune chunks while doing it.
+
+use mempersp::extrae::trace_format::save_trace;
+use mempersp::extrae::{Trace, Tracer, TracerConfig};
+use mempersp::folding::{
+    fold_region, fold_regions, fold_regions_source, FoldingConfig, RegionRequest,
+};
+use mempersp::memsim::MemLevel;
+use mempersp::pebs::{CounterSnapshot, EventKind, PebsSample};
+use mempersp::store::{open_trace_source, write_store_chunked};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const REGIONS: [&str; 2] = ["outer", "inner"];
+
+fn snap(base: u64) -> CounterSnapshot {
+    let mut v = [0u64; EventKind::ALL.len()];
+    for (i, kind) in EventKind::ALL.iter().enumerate() {
+        v[kind.index()] = base * (i as u64 + 1) / 2;
+    }
+    v[EventKind::Instructions.index()] = base;
+    v[EventKind::Cycles.index()] = base * 2;
+    CounterSnapshot::from_values(v)
+}
+
+/// A nested two-region trace: `instances` repetitions of
+/// `outer{ inner }` on each of `cores` cores, with `samples` counter
+/// samples and one PEBS sample per instance, followed by a long tail
+/// of user events (foldable-free chunks a pruned store scan can skip).
+fn build_trace(instances: usize, samples: usize, cores: usize) -> Trace {
+    let mut t = Tracer::new(TracerConfig { freq_mhz: 1500, ..Default::default() }, cores);
+    let ip = t.location("kernel.cpp", 7, "kern");
+    let mut now = 0u64;
+    let mut base = 0u64;
+    for k in 0..instances {
+        for core in 0..cores {
+            t.enter(core, "outer", snap(base), now);
+            t.enter(core, "inner", snap(base + 100), now + 100);
+            for s in 1..=samples {
+                let dt = (800 * s / (samples + 1)) as u64;
+                t.record_counter_sample(core, ip, snap(base + 100 + dt), now + 100 + dt);
+            }
+            t.record_pebs(PebsSample {
+                timestamp: now + 300,
+                core,
+                ip: ip.0,
+                addr: 0x1000 + (k as u64 * 64) + core as u64,
+                size: 8,
+                is_store: k % 2 == 0,
+                latency: 10 + k as u32,
+                source: MemLevel::L2,
+                tlb_miss: false,
+            });
+            t.exit(core, "inner", snap(base + 900), now + 900);
+            t.record_counter_sample(core, ip, snap(base + 950), now + 950);
+            t.exit(core, "outer", snap(base + 1000), now + 1000);
+        }
+        now += 1200;
+        base += 1000;
+    }
+    // Tail traffic no fold consumes: whole chunks of it must be
+    // skippable via the store's kind index.
+    for u in 0..200u64 {
+        t.user_event(0, 42, u, now + u);
+    }
+    t.finish("fold-multi property trace")
+}
+
+fn unique_path(ext: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mempersp_fold_multi_{}_{n}.{ext}", std::process::id()))
+}
+
+/// Debug-serialize every per-region result (errors included): the
+/// compared byte string covers curves, pooled panels and counters.
+fn render(results: &[Result<mempersp::folding::FoldedRegion, mempersp::folding::FoldError>]) -> Vec<String> {
+    results.iter().map(|r| format!("{r:?}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn multi_region_fold_is_byte_identical_across_paths(
+        instances in 2usize..7,
+        samples in 1usize..6,
+        cores in 1usize..4,
+    ) {
+        let trace = build_trace(instances, samples, cores);
+        let cfg = FoldingConfig::default();
+        let requests: Vec<RegionRequest> =
+            REGIONS.iter().map(|r| RegionRequest::with_cfg(*r, cfg)).collect();
+
+        // Baseline: the pre-engine shape — one sequential fold per region.
+        let baseline: Vec<String> = REGIONS
+            .iter()
+            .map(|r| format!("{:?}", fold_region(&trace, r, &cfg)))
+            .collect();
+
+        // In-memory engine at every thread count.
+        for threads in [1usize, 2, 4] {
+            let got = render(&fold_regions(&trace, &requests, threads));
+            prop_assert_eq!(&got, &baseline, "in-memory fold diverged at threads={}", threads);
+        }
+
+        // Both containers, every thread count, through the pruned
+        // two-phase source scan.
+        let prv = unique_path("prv");
+        let mps = unique_path("mps");
+        save_trace(&prv, &trace).unwrap();
+        write_store_chunked(&mps, &trace, 1024).unwrap();
+        for path in [&prv, &mps] {
+            for threads in [1usize, 2, 4] {
+                let mut src = open_trace_source(path).unwrap();
+                let (results, stats) =
+                    fold_regions_source(src.as_mut(), &requests, threads).unwrap();
+                let got = render(&results);
+                prop_assert_eq!(
+                    &got, &baseline,
+                    "source fold diverged: {} threads={}", path.display(), threads
+                );
+                if path.extension().and_then(|e| e.to_str()) == Some("mps") {
+                    prop_assert!(
+                        stats.chunks_skipped > 0,
+                        "indexed store scan skipped no chunks ({:?})", stats
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&prv).ok();
+        std::fs::remove_file(&mps).ok();
+    }
+}
