@@ -284,6 +284,7 @@ fn main() {
         "scale": format!("{scale:?}"),
         "regions": regions.len(),
         "host_cpus": host_cpus(),
+        "host": mempersp_bench::host_info(),
         "scenarios": scenarios,
         "single_pass_scan": serde_json::json!({
             "events_matched": stats.events_matched,

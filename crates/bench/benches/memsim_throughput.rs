@@ -318,6 +318,7 @@ fn main() {
         "bench": "memsim_throughput",
         "cores": CORES,
         "host_cpus": mempersp_bench::host_cpus(),
+        "host": mempersp_bench::host_info(),
         "scenarios": scenarios,
         "speedup_batched_vs_per_access": batched_speedup,
         "speedup_pipeline_vs_per_access": pipeline_speedup,

@@ -1,32 +1,45 @@
-//! Trace-store query throughput: the chunked binary `.mps` container
-//! against the text `.prv` parse path, on a selective window query
-//! over a STREAM-triad trace.
+//! Trace-store throughput at the one-million-event scale: the v2
+//! columnar `.mps` container against both the text `.prv` parse path
+//! and the legacy v1 row codec, on a selective window query over a
+//! synthetic PEBS-heavy trace ([`mempersp_bench::gentrace`]).
 //!
-//! Scenarios:
+//! Scan scenarios:
 //!
 //! * `prv_parse_filter` — parse the whole text trace, then filter
 //!   linearly (the pre-store baseline every analysis paid);
-//! * `mps_cold_scan` — fresh `StoreReader` per trial: footer pruning
-//!   plus chunk decode for the surviving chunks;
-//! * `mps_cached_scan` — the same reader re-queried: every surviving
-//!   chunk served from the sharded block cache, no codec work;
-//! * `mps_parallel_scan` — cold scan with the surviving chunks spread
-//!   over 4 worker threads.
+//! * `mps_v1_cold_scan` — fresh reader over the *v1 row-format* file:
+//!   the pre-v2 codec this PR replaces, kept as the comparator;
+//! * `mps_cold_scan` — fresh reader over the v2 columnar file: footer
+//!   pruning, mmap zero-copy chunk access, fused column prefilter;
+//! * `mps_cached_scan` — the same reader re-queried (block cache /
+//!   mapped bytes, no repeated open);
+//! * `mps_parallel_scan` — cold scan with surviving chunks spread over
+//!   4 worker threads; on a host with >= 4 CPUs this must not be
+//!   slower than the sequential cold scan (the candidate set is
+//!   asserted to exceed `PARALLEL_MIN_CHUNKS`, so the fan-out path —
+//!   not the small-trace fallback — is what's measured).
 //!
-//! Writes `BENCH_store.json`; the acceptance gate is
-//! `cached_vs_cold_speedup > 1`.
+//! Ingest scenarios: the same generated stream written with the
+//! inline compressor (`ingest_serial`) and with a 4-thread compressor
+//! pool (`ingest_parallel`); output files are byte-identical.
+//!
+//! Writes `BENCH_store.json` with a `host` block; cross-thread ratios
+//! are `null` (with a `*_skipped_reason`) when the host has fewer CPUs
+//! than worker threads.
 
-use mempersp_core::{Machine, MachineConfig};
+use mempersp_bench::gentrace::{generate, GenConfig};
+use mempersp_bench::{cross_thread_speedup, host_cpus, host_info};
 use mempersp_extrae::query::{EventClass, Query};
 use mempersp_extrae::trace_format::{load_trace, save_trace};
-use mempersp_store::{write_store, StoreReader};
-use mempersp_workloads::StreamTriad;
+use mempersp_store::{
+    write_store_v1, write_store_with, StoreReader, DEFAULT_CHUNK_BYTES, PARALLEL_MIN_CHUNKS,
+};
 use std::hint::black_box;
 use std::time::Instant;
 
 struct Measure {
     name: &'static str,
-    /// Events the scenario's answer contained.
+    /// Events the scenario's answer contained (writes: events stored).
     matched: u64,
     seconds: f64,
 }
@@ -50,31 +63,48 @@ fn best_of(n: usize, mut f: impl FnMut() -> Measure) -> Measure {
 }
 
 fn main() {
-    // One mid-size trace, written in both containers.
-    let mut mcfg = MachineConfig::small();
-    mcfg.cores = 2;
-    mcfg.counter_sample_period = mcfg.counter_sample_period.min(20_000);
-    let mut w = StreamTriad::new(1 << 17, 4);
-    let report = Machine::new(mcfg).run(&mut w);
+    // One million generated events (MEMPERSP_BENCH_EVENTS overrides),
+    // written in all three containers.
+    let events: u64 = std::env::var("MEMPERSP_BENCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let cfg = GenConfig { events, ..GenConfig::default() };
+    let trace = generate(&cfg);
     let dir = std::env::temp_dir().join(format!("mempersp_bench_store_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let prv = dir.join("bench.prv");
     let mps = dir.join("bench.mps");
-    save_trace(&prv, &report.trace).expect("write prv");
-    let summary = write_store(&mps, &report.trace).expect("write mps");
-    let span = report.trace.events.last().map(|e| e.cycles).unwrap_or(0);
+    let mps_v1 = dir.join("bench_v1.mps");
+    save_trace(&prv, &trace).expect("write prv");
+    let summary = write_store_with(&mps, &trace, DEFAULT_CHUNK_BYTES, 1).expect("write mps");
+    write_store_v1(&mps_v1, &trace, DEFAULT_CHUNK_BYTES).expect("write v1 mps");
+    let span = trace.events.last().map(|e| e.cycles).unwrap_or(0);
 
     // A selective query: PEBS samples in the middle quarter of the run
     // — the shape of a "zoom into one phase" analysis.
     let q = Query::all().in_time(span / 2, span / 2 + span / 4).with_kinds(&[EventClass::Pebs]);
 
     const TRIALS: usize = 5;
-    let prv_parse = best_of(TRIALS, || {
+    let prv_parse = best_of(2, || {
         let t = Instant::now();
         let parsed = load_trace(&prv).expect("parse");
         let matched = parsed.events.iter().filter(|e| q.matches(e)).count() as u64;
         black_box(&parsed);
         Measure { name: "prv_parse_filter", matched, seconds: t.elapsed().as_secs_f64() }
+    });
+
+    let v1_cold = best_of(TRIALS, || {
+        let reader = StoreReader::open(&mps_v1).expect("open v1");
+        let t = Instant::now();
+        let (events, _) = reader.query(&q).expect("query v1");
+        let m = Measure {
+            name: "mps_v1_cold_scan",
+            matched: events.len() as u64,
+            seconds: t.elapsed().as_secs_f64(),
+        };
+        black_box(events);
+        m
     });
 
     let mut cold_stats = None;
@@ -98,7 +128,7 @@ fn main() {
     let cached = best_of(TRIALS, || {
         let t = Instant::now();
         let (events, stats) = warm_reader.query(&q).expect("query");
-        assert_eq!(stats.chunks_decoded, 0, "cached scan must not decode");
+        assert_eq!(stats.chunks_decoded, 0, "cached scan must not pay decompression");
         let m = Measure {
             name: "mps_cached_scan",
             matched: events.len() as u64,
@@ -122,14 +152,54 @@ fn main() {
     });
 
     assert_eq!(prv_parse.matched, cold.matched, "containers must agree");
+    assert_eq!(v1_cold.matched, cold.matched, "codecs must agree");
     assert_eq!(cold.matched, cached.matched);
     assert_eq!(cold.matched, parallel.matched);
 
-    let measures = [&prv_parse, &cold, &cached, &parallel];
+    let stats = cold_stats.expect("cold scan ran");
+    let candidates = stats.chunks_decoded + stats.chunks_cached;
+    assert!(
+        candidates as usize >= PARALLEL_MIN_CHUNKS,
+        "query must survive footer pruning with >= {PARALLEL_MIN_CHUNKS} candidate chunks \
+         (got {candidates}) so mps_parallel_scan measures the fan-out path, not the fallback"
+    );
+    // The chunk-fanout regression gate: with enough real CPUs and a
+    // candidate set past the fallback threshold, the parallel scan
+    // must not lose to the sequential one (5% timer-jitter allowance;
+    // both sides are best-of-5).
+    if host_cpus() >= 4 {
+        assert!(
+            parallel.seconds <= cold.seconds * 1.05,
+            "parallel scan ({:.4}s) slower than sequential cold scan ({:.4}s) \
+             on a {}-cpu host",
+            parallel.seconds,
+            cold.seconds,
+            host_cpus()
+        );
+    }
+
+    let ingest_serial = best_of(3, || {
+        let path = dir.join("ingest_serial.mps");
+        let t = Instant::now();
+        let s = write_store_with(&path, &trace, DEFAULT_CHUNK_BYTES, 1).expect("write");
+        Measure { name: "ingest_serial", matched: s.events, seconds: t.elapsed().as_secs_f64() }
+    });
+    let ingest_parallel = best_of(3, || {
+        let path = dir.join("ingest_parallel.mps");
+        let t = Instant::now();
+        let s = write_store_with(&path, &trace, DEFAULT_CHUNK_BYTES, 4).expect("write");
+        Measure { name: "ingest_parallel", matched: s.events, seconds: t.elapsed().as_secs_f64() }
+    });
+    let serial_bytes = std::fs::read(dir.join("ingest_serial.mps")).expect("read serial");
+    let parallel_bytes = std::fs::read(dir.join("ingest_parallel.mps")).expect("read parallel");
+    assert_eq!(serial_bytes, parallel_bytes, "compressor pool must not change the bytes");
+
+    let measures =
+        [&prv_parse, &v1_cold, &cold, &cached, &parallel, &ingest_serial, &ingest_parallel];
     let mut scenarios = Vec::new();
     for m in measures {
         println!(
-            "{:<18} {:>9} matched {:>9.5}s {:>10.2} K matches/s",
+            "{:<18} {:>9} events {:>9.5}s {:>10.2} K events/s",
             m.name,
             m.matched,
             m.seconds,
@@ -137,35 +207,49 @@ fn main() {
         );
         scenarios.push(serde_json::json!({
             "name": m.name,
-            "matched_events": m.matched,
+            "events": m.matched,
             "seconds": m.seconds,
-            "matches_per_sec": m.per_sec(),
+            "events_per_sec": m.per_sec(),
         }));
     }
-    let stats = cold_stats.expect("cold scan ran");
     let cold_vs_prv = prv_parse.seconds / cold.seconds;
+    let v2_vs_v1 = v1_cold.seconds / cold.seconds;
     let cached_vs_cold = cold.seconds / cached.seconds;
+    let (parallel_vs_cold, parallel_skip) =
+        cross_thread_speedup(4, 1.0 / parallel.seconds, 1.0 / cold.seconds);
+    let (ingest_speedup, ingest_skip) =
+        cross_thread_speedup(4, 1.0 / ingest_parallel.seconds, 1.0 / ingest_serial.seconds);
     println!(
-        "pruning: {} decoded / {} skipped chunks ({} total, {} events in store)",
-        stats.chunks_decoded,
-        stats.chunks_skipped,
-        summary.chunks,
-        summary.events
+        "pruning: {} candidate / {} skipped chunks ({} total, {} events in store)",
+        candidates, stats.chunks_skipped, summary.chunks, summary.events
     );
-    println!("cold store scan vs prv parse+filter: {cold_vs_prv:.2}x");
-    println!("cached re-query vs cold scan:        {cached_vs_cold:.2}x");
+    println!("cold v2 scan vs prv parse+filter:  {cold_vs_prv:.2}x");
+    println!("cold v2 scan vs cold v1 scan:      {v2_vs_v1:.2}x");
+    println!("cached re-query vs cold scan:      {cached_vs_cold:.2}x");
+    let ratio = |v: &serde_json::Value| match v.as_f64() {
+        Some(r) => format!("{r:.2}x"),
+        None => "null (host too small)".to_string(),
+    };
+    println!("parallel(4) vs sequential cold:    {}", ratio(&parallel_vs_cold));
+    println!("ingest 4-thread vs serial:         {}", ratio(&ingest_speedup));
 
     let out = serde_json::json!({
         "bench": "store_scan",
+        "host": host_info(),
         "trace_events": summary.events,
         "chunks": summary.chunks,
         "raw_bytes": summary.raw_bytes,
         "stored_bytes": summary.stored_bytes,
-        "query_chunks_decoded": stats.chunks_decoded,
+        "query_candidate_chunks": candidates,
         "query_chunks_skipped": stats.chunks_skipped,
         "scenarios": scenarios,
         "cold_vs_prv_speedup": cold_vs_prv,
+        "v2_vs_v1_speedup": v2_vs_v1,
         "cached_vs_cold_speedup": cached_vs_cold,
+        "parallel_vs_cold_speedup": parallel_vs_cold,
+        "parallel_vs_cold_skipped_reason": parallel_skip,
+        "ingest_parallel_speedup": ingest_speedup,
+        "ingest_parallel_skipped_reason": ingest_skip,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
     std::fs::write(path, serde_json::to_string_pretty(&out).expect("serialize"))

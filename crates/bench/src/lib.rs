@@ -7,6 +7,8 @@ use mempersp_core::workflow::{analyze_hpcg, HpcgAnalysis};
 use mempersp_core::MachineConfig;
 use mempersp_hpcg::HpcgConfig;
 
+pub mod gentrace;
+
 /// The experiment scales used by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -97,6 +99,40 @@ pub fn run_ungrouped(scale: Scale) -> HpcgAnalysis {
 /// Number of CPUs the host actually offers this process.
 pub fn host_cpus() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The CPU model string, from `/proc/cpuinfo` where available.
+pub fn cpu_model() -> Option<String> {
+    let info = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    info.lines()
+        .find(|l| l.starts_with("model name") || l.starts_with("Model"))
+        .and_then(|l| l.split_once(':'))
+        .map(|(_, v)| v.trim().to_string())
+}
+
+/// Does the host look like a VM/container guest? (`hypervisor` cpu
+/// flag — best-effort; bare-metal containers still report false.)
+pub fn is_virtualized() -> bool {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .map(|info| {
+            info.lines()
+                .filter(|l| l.starts_with("flags"))
+                .any(|l| l.split_whitespace().any(|f| f == "hypervisor"))
+        })
+        .unwrap_or(false)
+}
+
+/// Host block for the `BENCH_*.json` summaries, so numbers are never
+/// read without knowing what machine produced them: logical CPU
+/// count, CPU model, and whether the run is virtualized. A
+/// `host_cpus: 1` summary with null cross-thread ratios is a
+/// single-core runner, not a regression.
+pub fn host_info() -> serde_json::Value {
+    serde_json::json!({
+        "host_cpus": host_cpus(),
+        "cpu_model": cpu_model(),
+        "virtualized": is_virtualized(),
+    })
 }
 
 /// Cross-thread speedup field for the BENCH_*.json summaries.

@@ -30,7 +30,7 @@ use mempersp_extrae::trace_source::{ScanStats, TraceSource};
 use mempersp_extrae::{Trace, Workload};
 use mempersp_folding::{fold_region_source, fold_regions_source, FoldingConfig, RegionRequest};
 use mempersp_hpcg::{HpcgConfig, HpcgWorkload};
-use mempersp_store::{open_trace_source, write_store, MpsSource};
+use mempersp_store::{open_trace_source, MpsSource, SHARD_DIR_SUFFIX};
 use mempersp_workloads::{PointerChase, Stencil7, StreamTriad, TiledMatmul};
 use std::process::exit;
 
@@ -43,7 +43,8 @@ fn usage() -> ! {
          mempersp fold <trace> --regions <a,b,...|all> [--threads N] [--csv-dir <dir>] [--stats]\n  \
          mempersp export <trace> [--dir <dir>] [--prefix <name>]\n  \
          mempersp profile <trace>\n  \
-         mempersp convert <trace> -o <out.prv|out.mps>\n  \
+         mempersp convert <trace> -o <out.prv|out.mps|out.mps.d> \
+         [--shard-events N] [--threads N]\n  \
          mempersp query <trace> [--time lo:hi] [--cores 0,2] [--kinds ENTER,PEBS] \
          [--object N] [--threads N] [--print N] [--stats]\n\
          \n  <trace> may be a text .prv trace or a binary .mps store."
@@ -212,18 +213,46 @@ fn print_scan_stats(stats: &ScanStats) {
 /// Convert between the text `.prv` trace and the binary `.mps` store.
 /// The direction follows the *output* extension; the input format is
 /// sniffed, so `.mps → .mps` (re-chunking) and `.prv → .prv`
-/// (normalization) also work.
+/// (normalization) also work. `--shard-events N` (or a `.mps.d`
+/// output) writes a sharded store that rolls a new file every N
+/// events; `--threads` sizes the writer's compression pool.
 fn cmd_convert(args: &[String]) {
     let out = arg_value(args, "-o").unwrap_or_else(|| usage());
     let t = load(args);
     let out_path = std::path::Path::new(&out);
-    let result = if out.ends_with(".mps") {
-        write_store(out_path, &t).map(|s| {
-            eprintln!(
-                "wrote {} events in {} chunks ({} raw -> {} stored bytes)",
-                s.events, s.chunks, s.raw_bytes, s.stored_bytes
-            );
-        })
+    let threads: usize =
+        arg_value(args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let shard_events: Option<u64> =
+        arg_value(args, "--shard-events").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--shard-events expects an event count, got {v:?}");
+                exit(2);
+            })
+        });
+    let report = |s: mempersp_store::StoreSummary| {
+        eprintln!(
+            "wrote {} events in {} chunks ({} raw -> {} stored bytes)",
+            s.events, s.chunks, s.raw_bytes, s.stored_bytes
+        );
+    };
+    let result = if shard_events.is_some() || out.ends_with(SHARD_DIR_SUFFIX) {
+        let per_shard = shard_events.unwrap_or(mempersp_store::shard::DEFAULT_EVENTS_PER_SHARD);
+        mempersp_store::write_store_sharded(
+            out_path,
+            &t,
+            mempersp_store::DEFAULT_CHUNK_BYTES,
+            threads,
+            per_shard,
+        )
+        .map(report)
+    } else if out.ends_with(".mps") {
+        mempersp_store::write_store_with(
+            out_path,
+            &t,
+            mempersp_store::DEFAULT_CHUNK_BYTES,
+            threads,
+        )
+        .map(report)
     } else {
         save_trace(out_path, &t)
     };
@@ -291,8 +320,8 @@ fn cmd_query(args: &[String]) {
 
     let p = std::path::Path::new(&path);
     let (events, stats) = match MpsSource::open(p) {
-        Ok(src) if threads > 1 => src.reader().query_parallel(&q, threads),
-        Ok(src) => src.reader().query(&q),
+        Ok(src) if threads > 1 => src.query_parallel(&q, threads),
+        Ok(src) => src.query(&q),
         Err(_) => {
             // Not a store: scan the parsed text trace through the
             // same predicate path.

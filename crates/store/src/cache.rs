@@ -1,13 +1,16 @@
-//! A sharded LRU cache of decoded chunks.
+//! A sharded LRU cache of decompressed chunk payloads.
 //!
-//! Chunk decode (LZ + varint) costs far more than the per-event
-//! predicate test, so repeated queries over the same region of a trace
-//! should pay it once. The cache is sharded — each shard is its own
-//! mutex + map — so the parallel scan path contends only when two
+//! The cache holds **bytes**, not decoded events: only LZ-compressed
+//! chunks earn a slot (their decompressed payload), because
+//! uncompressed chunks already decode zero-copy straight out of the
+//! reader's file mapping — caching them would just duplicate the page
+//! cache. Bytes are also ~5–10x smaller than materialized
+//! `TraceEvent`s, so the same memory budget keeps far more of a
+//! gigabyte-scale trace warm. The cache is sharded — each shard is its
+//! own mutex + map — so the parallel scan path contends only when two
 //! workers touch chunks of the same shard, not on one global lock.
 //! Eviction is LRU per shard via monotone access stamps.
 
-use mempersp_extrae::events::TraceEvent;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -23,15 +26,16 @@ pub struct CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        // 8 × 8 = 64 resident chunks ≈ 4 MiB of raw payload at the
-        // default chunk target — bounded regardless of trace size.
-        CacheConfig { shards: 8, chunks_per_shard: 8 }
+        // 8 × 32 = 256 resident decompressed payloads ≈ 16 MiB at the
+        // default chunk target — bounded regardless of trace size, and
+        // cheap now that entries are bytes rather than fat events.
+        CacheConfig { shards: 8, chunks_per_shard: 32 }
     }
 }
 
 struct Shard {
     /// chunk index → (last-access stamp, decoded events).
-    map: HashMap<usize, (u64, Arc<Vec<TraceEvent>>)>,
+    map: HashMap<usize, (u64, Arc<Vec<u8>>)>,
     tick: u64,
 }
 
@@ -68,7 +72,7 @@ impl ShardedCache {
     }
 
     /// Look a chunk up, refreshing its recency on hit.
-    pub fn get(&self, key: usize) -> Option<Arc<Vec<TraceEvent>>> {
+    pub fn get(&self, key: usize) -> Option<Arc<Vec<u8>>> {
         let mut s = self.shard(key).lock().expect("cache shard poisoned");
         s.tick += 1;
         let tick = s.tick;
@@ -85,9 +89,9 @@ impl ShardedCache {
         }
     }
 
-    /// Insert a decoded chunk, evicting the shard's least-recently
-    /// used entry when full.
-    pub fn insert(&self, key: usize, value: Arc<Vec<TraceEvent>>) {
+    /// Insert a decompressed chunk payload, evicting the shard's
+    /// least-recently used entry when full.
+    pub fn insert(&self, key: usize, value: Arc<Vec<u8>>) {
         let mut s = self.shard(key).lock().expect("cache shard poisoned");
         s.tick += 1;
         let tick = s.tick;
@@ -120,12 +124,8 @@ impl ShardedCache {
 mod tests {
     use super::*;
 
-    fn ev(cycles: u64) -> Arc<Vec<TraceEvent>> {
-        Arc::new(vec![TraceEvent {
-            cycles,
-            core: 0,
-            payload: mempersp_extrae::events::EventPayload::User { kind: 0, value: cycles },
-        }])
+    fn ev(tag: u64) -> Arc<Vec<u8>> {
+        Arc::new(tag.to_le_bytes().to_vec())
     }
 
     #[test]
@@ -160,7 +160,7 @@ mod tests {
         c.insert(2, ev(22));
         assert_eq!(c.len(), 2);
         assert!(c.get(1).is_some());
-        assert_eq!(c.get(2).unwrap()[0].cycles, 22);
+        assert_eq!(c.get(2).unwrap()[0], 22);
     }
 
     #[test]

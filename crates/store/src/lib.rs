@@ -8,22 +8,30 @@
 //! selective reads (one region, one object, one time window) over
 //! traces too large to keep parsed in memory:
 //!
-//! - [`codec`] — per-event varint encoding with zigzag timestamp
-//!   deltas; [`lz`] — an in-tree LZ77 pass over each chunk.
+//! - [`codec`] — columnar (v2) chunk encoding: tag/timestamp/core
+//!   columns plus one varint payload stream per event class, decoded
+//!   in batch with the word-at-a-time [`varint`] reader; [`lz`] — an
+//!   in-tree LZ77 pass over each chunk.
 //! - [`writer`] — [`writer::StoreWriter`] streams events into ~64 KiB
-//!   chunks, appending as it goes (O(chunk) memory), and seals the
-//!   file with a footer index + header blob. It implements
-//!   `mempersp_extrae::stream_writer::EventSink`, so a live
+//!   chunks, appending as it goes (O(chunk) memory), optionally
+//!   compressing on a bounded worker pool with deterministic in-order
+//!   commit, and seals the file with a footer index + header blob. It
+//!   implements `mempersp_extrae::stream_writer::EventSink`, so a live
 //!   `StreamWriter` run can tee a binary store next to its text trace.
 //! - [`chunk`] — the per-chunk [`chunk::ChunkMeta`] footer entry:
 //!   time range, core bitmap, event-kind bitmap, object-id range.
-//! - [`reader`] — [`reader::StoreReader`] answers
-//!   `mempersp_extrae::query::Query`s by pruning chunks against the
-//!   footer (predicate pushdown), decoding survivors through a
-//!   sharded LRU [`cache`], optionally in parallel.
-//! - [`source`] — [`source::MpsSource`] plugs the store into the
-//!   `TraceSource` trait; [`source::open_trace_source`] sniffs the
-//!   file magic and serves either format.
+//! - [`reader`] — [`reader::StoreReader`] `mmap`s the file
+//!   ([`mmap`]) and answers `mempersp_extrae::query::Query`s by
+//!   pruning chunks against the footer (predicate pushdown), decoding
+//!   survivors zero-copy from the mapping (raw chunks) or through the
+//!   sharded byte-block [`cache`] (LZ chunks), optionally in parallel.
+//! - [`shard`] — one logical trace spread over
+//!   `trace.mps.d/shard-NNNN.mps` files behind a manifest; queries
+//!   fan out across shards.
+//! - [`source`] — [`source::MpsSource`] plugs single-file and sharded
+//!   stores into the `TraceSource` trait;
+//!   [`source::open_trace_source`] sniffs the path and serves any
+//!   format.
 //!
 //! Round-trip guarantee: the store keeps the exact
 //! `header_sections()` text of the originating trace, and the chunk
@@ -34,14 +42,20 @@ pub mod cache;
 pub mod chunk;
 pub mod codec;
 pub mod lz;
+pub mod mmap;
 pub mod reader;
+pub mod shard;
 pub mod source;
 pub mod varint;
 pub mod writer;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use chunk::{ChunkMeta, Compression};
-pub use reader::StoreReader;
+pub use reader::{StoreReader, PARALLEL_MIN_CHUNKS};
+pub use shard::{write_store_sharded, ShardedReader, ShardedWriter, SHARD_DIR_SUFFIX};
 pub use source::{open_trace_source, MpsSource};
 pub use varint::CodecError;
-pub use writer::{write_store, write_store_chunked, StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES};
+pub use writer::{
+    write_store, write_store_chunked, write_store_v1, write_store_with, StoreSummary, StoreWriter,
+    DEFAULT_CHUNK_BYTES,
+};

@@ -1,45 +1,100 @@
 //! The out-of-core store reader.
 //!
-//! [`StoreReader::open`] reads only the footer — the fixed trailer,
-//! the chunk index and the (small) header blob; chunk payloads stay on
-//! disk until a query needs them. [`StoreReader::query`] walks the
-//! index, skips every chunk whose [`ChunkMeta`] proves it cannot
-//! match, and decodes the survivors through the sharded LRU block
-//! cache. [`StoreReader::query_parallel`] fans the surviving chunks
-//! out over worker threads (the CLI reuses the `--threads` knob),
-//! preserving trace order in the merged result.
+//! [`StoreReader::open`] maps the whole file ([`crate::mmap`]) and
+//! parses only the footer — the fixed trailer, the chunk index and the
+//! (small) header blob; chunk payloads stay untouched pages until a
+//! query needs them. Every chunk's offset/length is validated against
+//! the file bounds up front, so a corrupt index is an open error, not
+//! a scan-time panic.
+//!
+//! [`StoreReader::query`] walks the index, skips every chunk whose
+//! [`ChunkMeta`] proves it cannot match, and scans the survivors:
+//!
+//! - **Raw chunks** decode straight out of the mapping — zero copies,
+//!   zero cache traffic.
+//! - **LZ chunks** decompress into the sharded byte-block [`cache`];
+//!   repeat queries reuse the decompressed block. `chunks_decoded`
+//!   counts paid decompressions, `chunks_cached` covers both cache
+//!   hits and raw-from-mapping chunks (neither pays a decompression).
+//!
+//! [`StoreReader::query_parallel`] fans the surviving chunks out over
+//! worker threads, preserving trace order in the merged result — and
+//! falls back to the sequential scan below
+//! [`PARALLEL_MIN_CHUNKS`] candidates, where thread spawn + merge
+//! costs more than the scan itself.
 
 use crate::cache::{CacheConfig, CacheStats, ShardedCache};
 use crate::chunk::{ChunkMeta, Compression};
-use crate::codec::decode_events;
+use crate::codec::{decode_events, scan_events_v2, DecodeScratch};
 use crate::lz;
+use crate::mmap::Mapping;
 use crate::varint::get_u64;
-use crate::writer::{MAGIC, TRAILER_MAGIC};
+use crate::writer::{MAGIC, MAGIC_V1, TRAILER_MAGIC};
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::query::Query;
 use mempersp_extrae::trace_source::ScanStats;
 use mempersp_extrae::tracer::Trace;
-use std::io::{self, Read as _, Seek as _, SeekFrom};
+use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+/// Below this many surviving chunks a parallel query runs
+/// sequentially: spawning + merging costs more than the scan.
+pub const PARALLEL_MIN_CHUNKS: usize = 64;
+
+/// Upper bound on one chunk's claimed raw payload — a corrupt or
+/// hostile index must not turn into a multi-gigabyte allocation.
+const MAX_CHUNK_RAW: u32 = 256 * 1024 * 1024;
+
+/// Upper bound on the header blob's claimed raw size, same rationale.
+const MAX_HEADER_RAW: usize = 256 * 1024 * 1024;
 
 fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Which chunk codec the file uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// `MPSTORE1`: row-oriented per-event records.
+    V1,
+    /// `MPSTORE2`: columnar tag/delta/core/payload sections.
+    V2,
+}
+
+/// One chunk's raw (decompressed) payload — either borrowed from the
+/// mapping (raw chunks, zero-copy) or shared out of the block cache
+/// (LZ chunks).
+enum ChunkData<'a> {
+    Mapped(&'a [u8]),
+    Cached(Arc<Vec<u8>>),
+}
+
+impl std::ops::Deref for ChunkData<'_> {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match self {
+            ChunkData::Mapped(s) => s,
+            ChunkData::Cached(a) => a,
+        }
+    }
+}
+
 /// A store opened for querying. Cheap to open; thread-safe (`&self`
 /// queries may run concurrently).
 pub struct StoreReader {
-    file: Mutex<std::fs::File>,
+    map: Mapping,
+    format: Format,
     metas: Vec<ChunkMeta>,
     /// Parsed header: meta, region names, symbols, objects,
     /// resolution — with an empty event list.
     header: Trace,
     cache: ShardedCache,
-    /// Lifetime count of chunk payloads actually decoded (cache
-    /// misses); the acceptance counter for "decoded strictly fewer
-    /// chunks than a full scan".
+    /// Lifetime count of chunk payloads actually decompressed (cache
+    /// misses on LZ chunks); the acceptance counter for "decoded
+    /// strictly fewer chunks than a full scan".
     decoded_total: AtomicU64,
 }
 
@@ -51,7 +106,7 @@ impl StoreReader {
 
     /// Open with explicit cache sizing.
     pub fn open_with(path: &Path, cache: CacheConfig) -> io::Result<StoreReader> {
-        let mut file = std::fs::File::open(path).map_err(|e| {
+        let file = std::fs::File::open(path).map_err(|e| {
             io::Error::new(e.kind(), format!("opening store {}: {e}", path.display()))
         })?;
         let len = file.metadata()?.len();
@@ -59,17 +114,21 @@ impl StoreReader {
         if len < min {
             return Err(bad_data(format!("{}: too short for a store file", path.display())));
         }
+        let map = Mapping::of_file(&file, len)?;
+        drop(file); // the mapping outlives the descriptor
+        let bytes = map.bytes();
+        let len = bytes.len();
 
-        let mut magic = [0u8; 8];
-        file.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(bad_data(format!("{}: not a trace store (bad magic)", path.display())));
-        }
+        let format = match &bytes[..8] {
+            m if m == MAGIC => Format::V2,
+            m if m == MAGIC_V1 => Format::V1,
+            _ => {
+                return Err(bad_data(format!("{}: not a trace store (bad magic)", path.display())))
+            }
+        };
 
         // Trailer: index offset + trailing magic.
-        file.seek(SeekFrom::End(-16))?;
-        let mut trailer = [0u8; 16];
-        file.read_exact(&mut trailer)?;
+        let trailer = &bytes[len - 16..];
         if &trailer[8..] != TRAILER_MAGIC {
             return Err(bad_data(format!(
                 "{}: truncated store (missing trailer — writer not finalized?)",
@@ -77,36 +136,89 @@ impl StoreReader {
             )));
         }
         let index_off = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
-        if index_off < MAGIC.len() as u64 || index_off > len - 16 {
-            return Err(bad_data(format!("{}: index offset out of bounds", path.display())));
+        if index_off < MAGIC.len() as u64 || index_off > (len - 16) as u64 {
+            return Err(bad_data(format!(
+                "{}: index offset {index_off} out of bounds (file is {len} bytes)",
+                path.display()
+            )));
         }
+        let index_off = index_off as usize;
 
-        // Footer index.
-        file.seek(SeekFrom::Start(index_off))?;
-        let mut index = vec![0u8; (len - 16 - index_off) as usize];
-        file.read_exact(&mut index)?;
+        // Footer index, parsed straight from the mapping.
+        let index = &bytes[index_off..len - 16];
         let mut pos = 0usize;
-        let count = get_u64(&index, &mut pos)? as usize;
-        if count > (len / 8) as usize {
+        let count = get_u64(index, &mut pos)? as usize;
+        if count > len / 8 {
             return Err(bad_data(format!("{}: implausible chunk count {count}", path.display())));
         }
         let mut metas = Vec::with_capacity(count);
-        for _ in 0..count {
-            metas.push(ChunkMeta::decode(&index, &mut pos)?);
+        for i in 0..count {
+            let m = ChunkMeta::decode(index, &mut pos).map_err(|e| {
+                bad_data(format!("{}: chunk {i} index entry: {e}", path.display()))
+            })?;
+            // Validate the payload location once, here, so every later
+            // access can slice the mapping without checks.
+            let end = m.offset.checked_add(m.stored_len as u64);
+            if m.offset < MAGIC.len() as u64 || end.is_none_or(|e| e > index_off as u64) {
+                return Err(bad_data(format!(
+                    "{}: chunk {i} payload [{}, +{}) outside the data region",
+                    path.display(),
+                    m.offset,
+                    m.stored_len
+                )));
+            }
+            if m.compression == Compression::Raw && m.raw_len != m.stored_len {
+                return Err(bad_data(format!(
+                    "{}: chunk {i} is raw but raw_len {} != stored_len {}",
+                    path.display(),
+                    m.raw_len,
+                    m.stored_len
+                )));
+            }
+            if m.raw_len > MAX_CHUNK_RAW {
+                return Err(bad_data(format!(
+                    "{}: chunk {i} claims a {}-byte raw payload (limit {MAX_CHUNK_RAW})",
+                    path.display(),
+                    m.raw_len
+                )));
+            }
+            if m.events as u64 > m.raw_len as u64 {
+                return Err(bad_data(format!(
+                    "{}: chunk {i} claims {} events in {} raw bytes",
+                    path.display(),
+                    m.events,
+                    m.raw_len
+                )));
+            }
+            metas.push(m);
         }
-        let header_off = get_u64(&index, &mut pos)?;
-        let header_raw_len = get_u64(&index, &mut pos)? as usize;
-        let header_stored_len = get_u64(&index, &mut pos)? as usize;
+        let header_off = get_u64(index, &mut pos)? as usize;
+        let header_raw_len = get_u64(index, &mut pos)? as usize;
+        let header_stored_len = get_u64(index, &mut pos)? as usize;
 
-        // Header blob: compression byte + payload.
-        file.seek(SeekFrom::Start(header_off))?;
-        let mut code = [0u8; 1];
-        file.read_exact(&mut code)?;
-        let mut blob = vec![0u8; header_stored_len];
-        file.read_exact(&mut blob)?;
-        let header_bytes = match Compression::from_code(code[0]).map_err(io::Error::from)? {
-            Compression::Raw => blob,
-            Compression::Lz => lz::decompress(&blob, header_raw_len)?,
+        // Header blob: compression byte + payload, inside the data
+        // region like any chunk.
+        let blob_end = header_off
+            .checked_add(1)
+            .and_then(|p| p.checked_add(header_stored_len))
+            .filter(|&e| header_off >= MAGIC.len() && e <= index_off);
+        let Some(blob_end) = blob_end else {
+            return Err(bad_data(format!(
+                "{}: header blob [{header_off}, +{header_stored_len}) outside the data region",
+                path.display()
+            )));
+        };
+        if header_raw_len > MAX_HEADER_RAW {
+            return Err(bad_data(format!(
+                "{}: header blob claims {header_raw_len} raw bytes (limit {MAX_HEADER_RAW})",
+                path.display()
+            )));
+        }
+        let code = bytes[header_off];
+        let blob = &bytes[header_off + 1..blob_end];
+        let header_bytes = match Compression::from_code(code).map_err(io::Error::from)? {
+            Compression::Raw => blob.to_vec(),
+            Compression::Lz => lz::decompress(blob, header_raw_len)?,
         };
         let header_text = String::from_utf8(header_bytes)
             .map_err(|_| bad_data(format!("{}: header blob is not UTF-8", path.display())))?;
@@ -114,7 +226,8 @@ impl StoreReader {
             .map_err(|e| bad_data(format!("{}: bad header: {e}", path.display())))?;
 
         Ok(StoreReader {
-            file: Mutex::new(file),
+            map,
+            format,
             metas,
             header,
             cache: ShardedCache::new(cache),
@@ -137,7 +250,13 @@ impl StoreReader {
         &self.header
     }
 
-    /// Lifetime count of chunk decodes (cache misses that hit disk).
+    /// Is the file served by a real `mmap` (vs. the buffered
+    /// fallback)?
+    pub fn is_mmap(&self) -> bool {
+        self.map.is_mmap()
+    }
+
+    /// Lifetime count of chunk decompressions (LZ cache misses).
     pub fn chunks_decoded_total(&self) -> u64 {
         self.decoded_total.load(Ordering::Relaxed)
     }
@@ -147,28 +266,25 @@ impl StoreReader {
         self.cache.stats()
     }
 
-    /// Fetch one chunk's decoded events; `true` when this call paid
-    /// for a decode (cache miss).
-    fn chunk(&self, idx: usize) -> io::Result<(Arc<Vec<TraceEvent>>, bool)> {
-        if let Some(hit) = self.cache.get(idx) {
-            return Ok((hit, false));
-        }
+    /// Fetch one chunk's raw payload; `true` when this call paid for a
+    /// decompression (LZ cache miss). Raw chunks are served zero-copy
+    /// from the mapping and never enter the cache.
+    fn chunk_data(&self, idx: usize) -> io::Result<(ChunkData<'_>, bool)> {
         let m = &self.metas[idx];
-        let mut stored = vec![0u8; m.stored_len as usize];
-        {
-            let mut f = self.file.lock().expect("store file lock poisoned");
-            f.seek(SeekFrom::Start(m.offset))?;
-            f.read_exact(&mut stored)?;
+        let stored =
+            &self.map.bytes()[m.offset as usize..m.offset as usize + m.stored_len as usize];
+        match m.compression {
+            Compression::Raw => Ok((ChunkData::Mapped(stored), false)),
+            Compression::Lz => {
+                if let Some(hit) = self.cache.get(idx) {
+                    return Ok((ChunkData::Cached(hit), false));
+                }
+                let raw = Arc::new(lz::decompress(stored, m.raw_len as usize)?);
+                self.cache.insert(idx, raw.clone());
+                self.decoded_total.fetch_add(1, Ordering::Relaxed);
+                Ok((ChunkData::Cached(raw), true))
+            }
         }
-        let raw = match m.compression {
-            Compression::Raw => stored,
-            Compression::Lz => lz::decompress(&stored, m.raw_len as usize)?,
-        };
-        let events = decode_events(&raw, m.events as usize)?;
-        let arc = Arc::new(events);
-        self.cache.insert(idx, arc.clone());
-        self.decoded_total.fetch_add(1, Ordering::Relaxed);
-        Ok((arc, true))
     }
 
     /// Indices of chunks the footer cannot rule out for `q`.
@@ -190,51 +306,73 @@ impl StoreReader {
         &self,
         idx: usize,
         q: &Query,
+        scratch: &mut DecodeScratch,
         out: &mut Vec<TraceEvent>,
         stats: &mut ScanStats,
     ) -> io::Result<()> {
-        let (chunk, decoded) = self.chunk(idx)?;
+        let (data, decoded) = self.chunk_data(idx)?;
         if decoded {
             stats.chunks_decoded += 1;
         } else {
             stats.chunks_cached += 1;
         }
-        stats.events_scanned += chunk.len() as u64;
-        for e in chunk.iter() {
-            if q.matches(e) {
-                stats.events_matched += 1;
-                out.push(e.clone());
+        let m = &self.metas[idx];
+        match self.format {
+            Format::V2 => {
+                let (scanned, matched) =
+                    scan_events_v2(&data, m.events as usize, Some(q), scratch, out)
+                        .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                stats.events_scanned += scanned;
+                stats.events_matched += matched;
+            }
+            Format::V1 => {
+                let events = decode_events(&data, m.events as usize)
+                    .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                stats.events_scanned += events.len() as u64;
+                for e in events {
+                    if q.matches(&e) {
+                        stats.events_matched += 1;
+                        out.push(e);
+                    }
+                }
             }
         }
         Ok(())
+    }
+
+    fn scan_candidates(
+        &self,
+        candidates: &[usize],
+        q: &Query,
+        skipped: u64,
+    ) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        let mut stats = ScanStats { chunks_skipped: skipped, ..Default::default() };
+        let mut scratch = DecodeScratch::default();
+        let mut out = Vec::new();
+        for &idx in candidates {
+            self.scan_chunk(idx, q, &mut scratch, &mut out, &mut stats)?;
+        }
+        Ok((out, stats))
     }
 
     /// Run a query sequentially. Returns matching events in stored
     /// (trace) order plus the scan's cost accounting.
     pub fn query(&self, q: &Query) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
         let (candidates, skipped) = self.candidates(q);
-        let mut stats = ScanStats { chunks_skipped: skipped, ..Default::default() };
-        let mut out = Vec::new();
-        for idx in candidates {
-            self.scan_chunk(idx, q, &mut out, &mut stats)?;
-        }
-        Ok((out, stats))
+        self.scan_candidates(&candidates, q, skipped)
     }
 
     /// Run a query with the surviving chunks spread over `threads`
     /// workers. The result is identical to [`StoreReader::query`] —
     /// chunks are partitioned contiguously and re-concatenated in
     /// index order, so event order is preserved deterministically.
+    /// Below [`PARALLEL_MIN_CHUNKS`] surviving chunks the scan runs
+    /// sequentially — at that size thread spawn + merge dominates.
     pub fn query_parallel(&self, q: &Query, threads: usize) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
         let (candidates, skipped) = self.candidates(q);
         let threads = threads.clamp(1, candidates.len().max(1));
-        if threads <= 1 {
-            let mut stats = ScanStats { chunks_skipped: skipped, ..Default::default() };
-            let mut out = Vec::new();
-            for idx in candidates {
-                self.scan_chunk(idx, q, &mut out, &mut stats)?;
-            }
-            return Ok((out, stats));
+        if threads <= 1 || candidates.len() < PARALLEL_MIN_CHUNKS {
+            return self.scan_candidates(&candidates, q, skipped);
         }
 
         let per_worker = candidates.len().div_ceil(threads);
@@ -244,9 +382,10 @@ impl StoreReader {
                 .map(|slice| {
                     s.spawn(move || {
                         let mut stats = ScanStats::default();
+                        let mut scratch = DecodeScratch::default();
                         let mut out = Vec::new();
                         for &idx in slice {
-                            self.scan_chunk(idx, q, &mut out, &mut stats)?;
+                            self.scan_chunk(idx, q, &mut scratch, &mut out, &mut stats)?;
                         }
                         Ok((out, stats))
                     })
@@ -281,19 +420,32 @@ impl StoreReader {
             stats.chunks_skipped = self.metas.len() as u64;
             return Ok((outs, stats));
         }
+        let mut scratch = DecodeScratch::default();
+        let mut events = Vec::new();
         for (idx, m) in self.metas.iter().enumerate() {
             if !qs.iter().any(|q| m.may_match(q)) {
                 stats.chunks_skipped += 1;
                 continue;
             }
-            let (chunk, decoded) = self.chunk(idx)?;
+            let (data, decoded) = self.chunk_data(idx)?;
             if decoded {
                 stats.chunks_decoded += 1;
             } else {
                 stats.chunks_cached += 1;
             }
-            stats.events_scanned += chunk.len() as u64;
-            for e in chunk.iter() {
+            events.clear();
+            match self.format {
+                Format::V2 => {
+                    scan_events_v2(&data, m.events as usize, None, &mut scratch, &mut events)
+                        .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                }
+                Format::V1 => {
+                    events = decode_events(&data, m.events as usize)
+                        .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                }
+            }
+            stats.events_scanned += events.len() as u64;
+            for e in &events {
                 for (q, out) in qs.iter().zip(&mut outs) {
                     if q.matches(e) {
                         stats.events_matched += 1;
@@ -329,16 +481,20 @@ mod tests {
         dir.join(name)
     }
 
-    fn trace() -> Trace {
+    fn trace_sized(iters: u64) -> Trace {
         let mut t = Tracer::new(TracerConfig::default(), 4);
         let c = CounterSnapshot::from_values([9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2]);
-        for i in 0..3000u64 {
+        for i in 0..iters {
             let core = (i % 4) as usize;
             t.enter(core, "R", c, i * 100);
             t.user_event(core, 1, i, i * 100 + 10);
             t.exit(core, "R", c, i * 100 + 50);
         }
         t.finish("reader test")
+    }
+
+    fn trace() -> Trace {
+        trace_sized(3000)
     }
 
     #[test]
@@ -405,6 +561,33 @@ mod tests {
             let (par, par_stats) = r.query_parallel(&q, threads).unwrap();
             assert_eq!(par, seq, "threads={threads}");
             assert_eq!(par_stats.events_matched, seq_stats.events_matched);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_merge_path_covers_many_chunks() {
+        // Enough chunks to clear PARALLEL_MIN_CHUNKS so the real
+        // fan-out + in-order merge runs (the test above stays under
+        // the threshold and exercises the sequential fallback).
+        let path = tmp("par_big.mps");
+        let t = trace_sized(20_000);
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        let q = Query::all();
+        let (candidates, _) = r.candidates(&q);
+        assert!(
+            candidates.len() >= PARALLEL_MIN_CHUNKS,
+            "need ≥{PARALLEL_MIN_CHUNKS} chunks, got {}",
+            candidates.len()
+        );
+        let (seq, seq_stats) = r.query(&q).unwrap();
+        assert_eq!(seq.len(), t.events.len());
+        for threads in [2, 5] {
+            let (par, par_stats) = r.query_parallel(&q, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_stats.events_matched, seq_stats.events_matched);
+            assert_eq!(par_stats.events_scanned, seq_stats.events_scanned);
         }
         std::fs::remove_file(&path).ok();
     }
@@ -481,6 +664,40 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
         assert!(StoreReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_out_of_bounds_chunk_index() {
+        // Craft a store, then corrupt the first chunk's offset in the
+        // footer index to point past the data region; open must fail
+        // with a descriptive error instead of a scan-time panic.
+        let path = tmp("oob.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        assert!(!r.chunks().is_empty());
+        drop(r);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let index_off =
+            u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap())
+                as usize;
+        // The index starts with a varint count, then chunk 0's offset
+        // varint. Overwrite that offset with a huge 5-byte varint —
+        // same length or longer keeps later bytes parseable enough to
+        // reach the bounds check.
+        let mut pos = index_off;
+        crate::varint::get_u64(&bytes, &mut pos).unwrap(); // count
+        bytes[pos] = 0xFF; // chunk 0 offset → continuation into garbage
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match StoreReader::open(&path) {
+            Ok(_) => panic!("corrupt index must not open"),
+            Err(e) => e,
+        };
+        assert!(
+            err.to_string().contains("chunk") || err.to_string().contains("codec"),
+            "{err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

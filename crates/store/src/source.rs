@@ -1,8 +1,10 @@
-//! [`TraceSource`] adapter for `.mps` stores, and a format-sniffing
-//! opener so downstream analyses (folding, object stats, the CLI)
-//! accept either container without caring which one they got.
+//! [`TraceSource`] adapter for `.mps` stores — single-file or sharded
+//! — and a format-sniffing opener so downstream analyses (folding,
+//! object stats, the CLI) accept any container without caring which
+//! one they got.
 
 use crate::reader::StoreReader;
+use crate::shard::{is_shard_dir, ShardedReader};
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::query::Query;
 use mempersp_extrae::trace_source::{MaterializedSource, ScanStats, TraceSource};
@@ -12,26 +14,100 @@ use std::path::Path;
 
 /// A `.mps` store behind the [`TraceSource`] trait. Queries push
 /// predicates down into the chunk index instead of materializing the
-/// whole trace.
+/// whole trace. A `trace.mps.d/` shard directory opens the same way a
+/// single file does.
 pub struct MpsSource {
-    reader: StoreReader,
+    inner: Inner,
+}
+
+enum Inner {
+    // Boxed: a StoreReader (cache shards + footer) dwarfs the
+    // ShardedReader variant's Vec pointer.
+    Single(Box<StoreReader>),
+    Sharded(ShardedReader),
 }
 
 impl MpsSource {
+    /// Open a single `.mps` file or a `trace.mps.d/` shard directory.
     pub fn open(path: &Path) -> io::Result<MpsSource> {
-        Ok(MpsSource { reader: StoreReader::open(path)? })
+        let inner = if path.is_dir() {
+            Inner::Sharded(ShardedReader::open(path)?)
+        } else {
+            Inner::Single(Box::new(StoreReader::open(path)?))
+        };
+        Ok(MpsSource { inner })
     }
 
-    /// The underlying reader (chunk index, decode counters, cache
-    /// stats).
-    pub fn reader(&self) -> &StoreReader {
-        &self.reader
+    /// The single-file reader, when this source is not sharded (chunk
+    /// index, decode counters, cache stats).
+    pub fn reader(&self) -> Option<&StoreReader> {
+        match &self.inner {
+            Inner::Single(r) => Some(r),
+            Inner::Sharded(_) => None,
+        }
+    }
+
+    /// Shard count: 1 for a single-file store.
+    pub fn num_shards(&self) -> usize {
+        match &self.inner {
+            Inner::Single(_) => 1,
+            Inner::Sharded(s) => s.num_shards(),
+        }
+    }
+
+    /// Total events across all chunks (and shards).
+    pub fn num_events(&self) -> u64 {
+        match &self.inner {
+            Inner::Single(r) => r.num_events(),
+            Inner::Sharded(s) => s.num_events(),
+        }
+    }
+
+    /// The header trace (empty event list).
+    pub fn store_header(&self) -> &Trace {
+        match &self.inner {
+            Inner::Single(r) => r.header(),
+            Inner::Sharded(s) => s.header(),
+        }
+    }
+
+    /// Run a query sequentially.
+    pub fn query(&self, q: &Query) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        match &self.inner {
+            Inner::Single(r) => r.query(q),
+            Inner::Sharded(s) => s.query(q),
+        }
+    }
+
+    /// Run a query across `threads` workers (chunks for a single
+    /// file, shards for a sharded trace); same result as
+    /// [`MpsSource::query`].
+    pub fn query_parallel(&self, q: &Query, threads: usize) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        match &self.inner {
+            Inner::Single(r) => r.query_parallel(q, threads),
+            Inner::Sharded(s) => s.query_parallel(q, threads),
+        }
+    }
+
+    /// Run several queries in one pass over each chunk.
+    pub fn query_multi(&self, qs: &[Query]) -> io::Result<(Vec<Vec<TraceEvent>>, ScanStats)> {
+        match &self.inner {
+            Inner::Single(r) => r.query_multi(qs),
+            Inner::Sharded(s) => s.query_multi(qs),
+        }
+    }
+
+    fn materialize_inner(&self) -> io::Result<Trace> {
+        match &self.inner {
+            Inner::Single(r) => r.materialize(),
+            Inner::Sharded(s) => s.materialize(),
+        }
     }
 }
 
 impl TraceSource for MpsSource {
     fn header(&mut self) -> io::Result<Trace> {
-        Ok(self.reader.header().clone())
+        Ok(self.store_header().clone())
     }
 
     fn scan(
@@ -39,7 +115,7 @@ impl TraceSource for MpsSource {
         query: &Query,
         sink: &mut dyn FnMut(TraceEvent),
     ) -> io::Result<ScanStats> {
-        let (events, stats) = self.reader.query(query)?;
+        let (events, stats) = self.query(query)?;
         for e in events {
             sink(e);
         }
@@ -47,24 +123,32 @@ impl TraceSource for MpsSource {
     }
 
     fn format_name(&self) -> &'static str {
-        "mps"
+        match &self.inner {
+            Inner::Single(_) => "mps",
+            Inner::Sharded(_) => "mps.d",
+        }
     }
 
     fn materialize(&mut self) -> io::Result<Trace> {
-        self.reader.materialize()
+        self.materialize_inner()
     }
 }
 
-/// Open a trace by path, sniffing the leading bytes: `MPSTORE1` means
-/// a binary store, anything else is parsed as a text `.prv` trace.
+/// Open a trace by path. A directory with a shard manifest is a
+/// sharded store; a file leading with `MPSTORE2` (or the v1
+/// `MPSTORE1`) is a binary store; anything else is parsed as a text
+/// `.prv` trace.
 pub fn open_trace_source(path: &Path) -> io::Result<Box<dyn TraceSource>> {
+    if is_shard_dir(path) {
+        return Ok(Box::new(MpsSource::open(path)?));
+    }
     let mut file = std::fs::File::open(path).map_err(|e| {
         io::Error::new(e.kind(), format!("opening trace {}: {e}", path.display()))
     })?;
     let mut head = [0u8; 8];
     let n = file.read(&mut head)?;
     drop(file);
-    if n == 8 && &head == crate::writer::MAGIC {
+    if n == 8 && (&head == crate::writer::MAGIC || &head == crate::writer::MAGIC_V1) {
         return Ok(Box::new(MpsSource::open(path)?));
     }
     Ok(Box::new(MaterializedSource::open(path)?))
@@ -73,6 +157,7 @@ pub fn open_trace_source(path: &Path) -> io::Result<Box<dyn TraceSource>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::write_store_sharded;
     use crate::writer::write_store_chunked;
     use mempersp_extrae::query::EventClass;
     use mempersp_extrae::trace_format::{save_trace, write_trace};
@@ -113,6 +198,18 @@ mod tests {
     }
 
     #[test]
+    fn sniffer_dispatches_on_shard_dir() {
+        let t = trace();
+        let dir = tmp("sniff.mps.d");
+        std::fs::remove_dir_all(&dir).ok();
+        write_store_sharded(&dir, &t, 4096, 1, 1500).unwrap();
+        let mut s = open_trace_source(&dir).unwrap();
+        assert_eq!(s.format_name(), "mps.d");
+        assert_eq!(s.materialize().unwrap().events, t.events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn filtered_scan_agrees_across_formats() {
         let t = trace();
         let prv = tmp("agree.prv");
@@ -141,5 +238,18 @@ mod tests {
         let back = m.materialize().unwrap();
         assert_eq!(write_trace(&back), prv_text);
         std::fs::remove_file(&mps).ok();
+    }
+
+    #[test]
+    fn round_trip_prv_sharded_mps_prv_is_byte_identical() {
+        let t = trace();
+        let prv_text = write_trace(&t);
+        let dir = tmp("rt.mps.d");
+        std::fs::remove_dir_all(&dir).ok();
+        write_store_sharded(&dir, &t, 4096, 2, 1000).unwrap();
+        let mut m = open_trace_source(&dir).unwrap();
+        let back = m.materialize().unwrap();
+        assert_eq!(write_trace(&back), prv_text);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -82,6 +82,128 @@ pub fn get_i64(buf: &[u8], pos: &mut usize) -> Result<i64, CodecError> {
     Ok(unzigzag(get_u64(buf, pos)?))
 }
 
+/// A positioned varint decoder with a word-at-a-time fast path.
+///
+/// [`get_u64`] reads one byte per iteration with a bounds check each
+/// time — fine for footers, far too slow for the millions of varints
+/// a chunk decode chews through. `Reader` instead loads 8 bytes in one
+/// unaligned read, finds the terminating byte with a single
+/// `trailing_zeros`, and folds the 7-bit groups together with three
+/// shift/mask steps — no per-byte branches for the ≤8-byte varints
+/// that make up essentially all trace data. Inputs shorter than the
+/// 8-byte window and 9–10-byte varints fall back to the checked loop.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Continuation bits of an 8-byte LE word of LEB128 data.
+const CONT_MASK: u64 = 0x8080_8080_8080_8080;
+
+/// Fold the 7-bit payload groups of an `n`-byte varint (already
+/// masked to its low `8n` bits, continuation bits cleared) into the
+/// decoded value.
+#[inline(always)]
+fn fold7(x: u64) -> u64 {
+    let x = (x & 0x007F_007F_007F_007F) | ((x & 0x7F00_7F00_7F00_7F00) >> 1);
+    let x = (x & 0x0000_3FFF_0000_3FFF) | ((x & 0x3FFF_0000_3FFF_0000) >> 2);
+    (x & 0x0000_0000_0FFF_FFFF) | ((x & 0x0FFF_FFFF_0000_0000) >> 4)
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has every byte been consumed?
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Read one raw byte.
+    #[inline]
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| CodecError {
+            offset: self.pos,
+            message: "truncated byte".into(),
+        })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read an unsigned varint (word-at-a-time fast path).
+    #[inline]
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        if self.pos + 8 <= self.buf.len() {
+            let word = u64::from_le_bytes(
+                self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes"),
+            );
+            let stops = !word & CONT_MASK;
+            if stops != 0 {
+                let n = (stops.trailing_zeros() >> 3) as usize + 1;
+                // Mask to the n live bytes; continuation bits vanish
+                // with the same mask since only payload bits survive.
+                let keep = if n == 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+                self.pos += n;
+                return Ok(fold7(word & keep & !CONT_MASK));
+            }
+            // 9–10 byte varint (value ≥ 2^56): rare, take the loop.
+        }
+        let v = get_u64(self.buf, &mut self.pos)?;
+        Ok(v)
+    }
+
+    /// Read a signed varint (zig-zag).
+    #[inline]
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(unzigzag(self.u64()?))
+    }
+
+    /// Skip one varint without decoding its value.
+    #[inline]
+    pub fn skip_varint(&mut self) -> Result<(), CodecError> {
+        if self.pos + 8 <= self.buf.len() {
+            let word = u64::from_le_bytes(
+                self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes"),
+            );
+            let stops = !word & CONT_MASK;
+            if stops != 0 {
+                self.pos += (stops.trailing_zeros() >> 3) as usize + 1;
+                return Ok(());
+            }
+        }
+        get_u64(self.buf, &mut self.pos).map(|_| ())
+    }
+
+    /// Skip `n` varints.
+    #[inline]
+    pub fn skip_varints(&mut self, n: usize) -> Result<(), CodecError> {
+        for _ in 0..n {
+            self.skip_varint()?;
+        }
+        Ok(())
+    }
+
+    /// Read a length-prefixed byte string.
+    #[inline]
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        get_bytes(self.buf, &mut self.pos)
+    }
+}
+
 /// Append a length-prefixed byte string.
 pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     put_u64(out, bytes.len() as u64);
@@ -151,6 +273,57 @@ mod tests {
         let buf = [0xFFu8; 11];
         let mut pos = 0;
         assert!(get_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn fast_reader_agrees_with_byte_loop() {
+        // Every interesting width, including 9–10 byte encodings and
+        // values that straddle the 8-byte window at the buffer tail.
+        let values: Vec<u64> = (0..64)
+            .map(|s| 1u64 << s)
+            .chain([0, 1, 127, 128, 255, 16_383, 16_384, u32::MAX as u64, u64::MAX, u64::MAX - 1])
+            .collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_u64(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        let mut pos = 0usize;
+        for &v in &values {
+            assert_eq!(r.u64().unwrap(), v);
+            assert_eq!(get_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(r.pos(), pos, "fast reader must consume identical bytes");
+        }
+        assert!(r.is_done());
+
+        // Signed values through the same fast path.
+        let mut sbuf = Vec::new();
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
+            put_i64(&mut sbuf, v);
+        }
+        let mut r = Reader::new(&sbuf);
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300, 300] {
+            assert_eq!(r.i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn fast_reader_skip_matches_decode_width() {
+        let values = [0u64, 127, 128, 1 << 20, 1 << 55, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_u64(&mut buf, v);
+        }
+        let mut skip = Reader::new(&buf);
+        let mut read = Reader::new(&buf);
+        for _ in &values {
+            skip.skip_varint().unwrap();
+            read.u64().unwrap();
+            assert_eq!(skip.pos(), read.pos());
+        }
+        assert!(skip.is_done());
+        let mut r = Reader::new(&buf[..buf.len() - 1]);
+        assert!(r.skip_varints(values.len()).is_err(), "truncated tail detected");
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The append-only store writer.
 //!
-//! File layout (`.mps`):
+//! File layout (`.mps`, format v2):
 //!
 //! ```text
 //! +-----------------+ offset 0
-//! | magic MPSTORE1  | 8 bytes
+//! | magic MPSTORE2  | 8 bytes (MPSTORE1 files remain readable)
 //! +-----------------+
-//! | chunk payload 0 | varint events, raw or LZ      (~64 KiB each)
+//! | chunk payload 0 | v2 columnar events, raw or LZ   (~64 KiB each)
 //! | chunk payload 1 |
 //! | ...             |
 //! +-----------------+
@@ -26,18 +26,36 @@
 //! which are only complete at the end of the run — goes *behind* the
 //! chunks, mirroring how Extrae's merger appends global information
 //! post-mortem.
+//!
+//! # Pipelined compression
+//!
+//! With `threads ≥ 2` ([`StoreWriter::with_threads`]) the LZ pass
+//! comes off the ingest thread: sealed chunks are handed to a bounded
+//! pool of compressor workers, and a dedicated committer thread writes
+//! the finished payloads to the file **strictly in seal order**, so
+//! the produced bytes are identical at any thread count — ingest
+//! overlaps compression instead of stalling on it. Backpressure is the
+//! channel bound: at most a few chunks are ever in flight, keeping the
+//! writer's memory O(threads × chunk).
 
 use crate::chunk::{ChunkMeta, Compression};
-use crate::codec::encode_event;
+use crate::codec::ChunkBuilder;
 use crate::lz;
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::stream_writer::EventSink;
 use mempersp_extrae::tracer::Trace;
+use std::collections::BTreeMap;
 use std::io::{self, Write as _};
 use std::path::Path;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
-/// Leading file magic.
-pub const MAGIC: &[u8; 8] = b"MPSTORE1";
+/// Leading file magic of the columnar v2 format (what this writer
+/// emits).
+pub const MAGIC: &[u8; 8] = b"MPSTORE2";
+/// Leading magic of the original row-oriented format; the reader
+/// still accepts it.
+pub const MAGIC_V1: &[u8; 8] = b"MPSTORE1";
 /// Trailing file magic (after the index offset).
 pub const TRAILER_MAGIC: &[u8; 8] = b"MPSEND01";
 /// Default target for one chunk's *raw* encoded payload.
@@ -54,18 +72,139 @@ pub struct StoreSummary {
     pub stored_bytes: u64,
 }
 
+/// A sealed chunk travelling to the compressor pool.
+struct Job {
+    seq: u64,
+    raw: Vec<u8>,
+    meta: ChunkMeta,
+}
+
+/// A compressed chunk travelling to the committer.
+struct Done {
+    seq: u64,
+    payload: Vec<u8>,
+    compression: Compression,
+    meta: ChunkMeta,
+}
+
+/// What the committer hands back once every chunk is on disk.
+struct CommitDone {
+    out: io::BufWriter<std::fs::File>,
+    pos: u64,
+    metas: Vec<ChunkMeta>,
+    raw_bytes: u64,
+}
+
+/// Compress one sealed chunk, choosing the smaller representation —
+/// the single pure function both the inline path and the worker pool
+/// run, so output bytes never depend on the thread count.
+fn compress_chunk(raw: Vec<u8>, mut meta: ChunkMeta) -> (Vec<u8>, Compression, ChunkMeta) {
+    meta.raw_len = raw.len() as u32;
+    let compressed = lz::compress(&raw);
+    if compressed.len() < raw.len() {
+        (compressed, Compression::Lz, meta)
+    } else {
+        (raw, Compression::Raw, meta)
+    }
+}
+
+struct Pipeline {
+    jobs: Option<mpsc::SyncSender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    committer: Option<std::thread::JoinHandle<io::Result<CommitDone>>>,
+    next_seq: u64,
+}
+
+impl Pipeline {
+    fn spawn(out: io::BufWriter<std::fs::File>, pos: u64, threads: usize) -> Pipeline {
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(threads * 2);
+        let (done_tx, done_rx) = mpsc::sync_channel::<Done>(threads * 2);
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&jobs_rx);
+                let tx = done_tx.clone();
+                std::thread::spawn(move || loop {
+                    // Holding the lock across `recv` serializes job
+                    // *hand-off*, not compression, which runs after
+                    // the guard drops.
+                    let job = match rx.lock().expect("job queue poisoned").recv() {
+                        Ok(j) => j,
+                        Err(_) => return,
+                    };
+                    let (payload, compression, meta) = compress_chunk(job.raw, job.meta);
+                    if tx.send(Done { seq: job.seq, payload, compression, meta }).is_err() {
+                        return; // committer failed; drain and exit
+                    }
+                })
+            })
+            .collect();
+        drop(done_tx);
+
+        let committer = std::thread::spawn(move || -> io::Result<CommitDone> {
+            let mut out = out;
+            let mut pos = pos;
+            let mut metas = Vec::new();
+            let mut raw_bytes = 0u64;
+            let mut pending: BTreeMap<u64, Done> = BTreeMap::new();
+            let mut next = 0u64;
+            for done in done_rx.iter() {
+                pending.insert(done.seq, done);
+                // Deterministic in-order commit: write only the
+                // contiguous prefix, hold later chunks until the gap
+                // fills (the channel bound caps how many can wait).
+                while let Some(d) = pending.remove(&next) {
+                    let mut meta = d.meta;
+                    meta.offset = pos;
+                    meta.stored_len = d.payload.len() as u32;
+                    meta.compression = d.compression;
+                    out.write_all(&d.payload)?;
+                    pos += d.payload.len() as u64;
+                    raw_bytes += meta.raw_len as u64;
+                    metas.push(meta);
+                    next += 1;
+                }
+            }
+            assert!(pending.is_empty(), "compressor pool dropped chunk {next}");
+            Ok(CommitDone { out, pos, metas, raw_bytes })
+        });
+
+        Pipeline { jobs: Some(jobs_tx), workers, committer: Some(committer), next_seq: 0 }
+    }
+
+    fn join(mut self) -> io::Result<CommitDone> {
+        drop(self.jobs.take());
+        for w in self.workers.drain(..) {
+            w.join().expect("compressor worker panicked");
+        }
+        self.committer
+            .take()
+            .expect("pipeline joined twice")
+            .join()
+            .expect("committer panicked")
+    }
+}
+
+enum Sink {
+    /// Chunks compressed and written on the caller thread.
+    Inline { out: io::BufWriter<std::fs::File>, pos: u64 },
+    /// Chunks compressed on the worker pool, committed in order.
+    Pipelined(Pipeline),
+    /// Transitional state while swapping sinks.
+    Draining,
+}
+
 /// Streaming writer of the chunked binary container.
 pub struct StoreWriter {
-    out: io::BufWriter<std::fs::File>,
-    /// Next payload write position.
-    pos: u64,
+    sink: Sink,
     chunk_target: usize,
-    /// Raw encoding of the open chunk.
-    enc: Vec<u8>,
-    /// Timestamp-delta state of the open chunk.
-    prev_cycles: u64,
+    /// Columnar encoder of the open chunk.
+    builder: ChunkBuilder,
     /// Summary of the open chunk.
     open_meta: ChunkMeta,
+    /// Sealed-chunk index entries, in commit order (populated lazily
+    /// for the pipelined sink — harvested when the pipeline drains).
     metas: Vec<ChunkMeta>,
     total_events: u64,
     raw_bytes: u64,
@@ -73,7 +212,8 @@ pub struct StoreWriter {
 }
 
 impl StoreWriter {
-    /// Create a store at `path` with the default ~64 KiB chunk target.
+    /// Create a store at `path` with the default ~64 KiB chunk target,
+    /// compressing inline on the caller thread.
     pub fn create(path: &Path) -> io::Result<StoreWriter> {
         Self::with_chunk_target(path, DEFAULT_CHUNK_BYTES)
     }
@@ -81,17 +221,29 @@ impl StoreWriter {
     /// Create with an explicit raw-payload chunk target (tests use
     /// small targets to force many chunks from small traces).
     pub fn with_chunk_target(path: &Path, chunk_target: usize) -> io::Result<StoreWriter> {
+        Self::with_threads(path, chunk_target, 1)
+    }
+
+    /// Create with `threads` compressor workers. `threads ≤ 1` keeps
+    /// compression inline; more moves it onto a bounded pool with a
+    /// deterministic in-order committer — the file bytes are identical
+    /// either way.
+    pub fn with_threads(path: &Path, chunk_target: usize, threads: usize) -> io::Result<StoreWriter> {
         let file = std::fs::File::create(path).map_err(|e| {
             io::Error::new(e.kind(), format!("creating store {}: {e}", path.display()))
         })?;
         let mut out = io::BufWriter::new(file);
         out.write_all(MAGIC)?;
+        let pos = MAGIC.len() as u64;
+        let sink = if threads > 1 {
+            Sink::Pipelined(Pipeline::spawn(out, pos, threads))
+        } else {
+            Sink::Inline { out, pos }
+        };
         Ok(StoreWriter {
-            out,
-            pos: MAGIC.len() as u64,
+            sink,
             chunk_target: chunk_target.max(1024),
-            enc: Vec::with_capacity(chunk_target + 256),
-            prev_cycles: 0,
+            builder: ChunkBuilder::new(),
             open_meta: ChunkMeta::summarize(&[]),
             metas: Vec::new(),
             total_events: 0,
@@ -104,43 +256,82 @@ impl StoreWriter {
     /// encoding crosses the chunk target.
     pub fn append(&mut self, event: &TraceEvent) -> io::Result<()> {
         assert!(!self.finished, "append after finish");
-        encode_event(&mut self.enc, event, &mut self.prev_cycles);
+        self.builder.push(event);
         self.open_meta.observe(event);
         self.open_meta.events += 1;
         self.total_events += 1;
-        if self.enc.len() >= self.chunk_target {
+        if self.builder.encoded_len() >= self.chunk_target {
             self.seal_chunk()?;
         }
         Ok(())
     }
 
-    /// Number of sealed chunks so far.
+    /// Number of chunks sealed so far (for the pipelined sink this
+    /// counts chunks handed to the pool, including in-flight ones).
     pub fn chunks_written(&self) -> usize {
-        self.metas.len()
+        match &self.sink {
+            Sink::Pipelined(p) => p.next_seq as usize,
+            _ => self.metas.len(),
+        }
     }
 
     fn seal_chunk(&mut self) -> io::Result<()> {
         if self.open_meta.events == 0 {
             return Ok(());
         }
-        let raw_len = self.enc.len();
-        let compressed = lz::compress(&self.enc);
-        let (payload, compression): (&[u8], Compression) = if compressed.len() < raw_len {
-            (&compressed, Compression::Lz)
-        } else {
-            (&self.enc, Compression::Raw)
-        };
-        let mut meta = std::mem::replace(&mut self.open_meta, ChunkMeta::summarize(&[]));
-        meta.offset = self.pos;
-        meta.stored_len = payload.len() as u32;
-        meta.raw_len = raw_len as u32;
-        meta.compression = compression;
-        self.out.write_all(payload)?;
-        self.pos += payload.len() as u64;
-        self.raw_bytes += raw_len as u64;
-        self.metas.push(meta);
-        self.enc.clear();
-        self.prev_cycles = 0;
+        let meta = std::mem::replace(&mut self.open_meta, ChunkMeta::summarize(&[]));
+        let raw = self.builder.serialize();
+        self.raw_bytes += raw.len() as u64;
+        match &mut self.sink {
+            Sink::Inline { out, pos } => {
+                let (payload, compression, mut meta) = compress_chunk(raw, meta);
+                meta.offset = *pos;
+                meta.stored_len = payload.len() as u32;
+                meta.compression = compression;
+                out.write_all(&payload)?;
+                *pos += payload.len() as u64;
+                self.metas.push(meta);
+                Ok(())
+            }
+            Sink::Pipelined(p) => {
+                let seq = p.next_seq;
+                let jobs = p.jobs.as_ref().expect("pipeline already drained");
+                if jobs.send(Job { seq, raw, meta }).is_err() {
+                    // The committer died (an I/O error); surface its
+                    // real error by draining now.
+                    self.drain_pipeline()?;
+                    return Err(io::Error::other(
+                        "chunk pipeline disconnected without reporting an error",
+                    ));
+                }
+                p.next_seq = seq + 1;
+                Ok(())
+            }
+            Sink::Draining => unreachable!("seal while draining"),
+        }
+    }
+
+    /// Seal the open chunk and, for a pipelined writer, wait for every
+    /// in-flight chunk to be compressed and committed. Afterwards the
+    /// writer behaves like an inline one (the footer path).
+    pub(crate) fn seal_events(&mut self) -> io::Result<()> {
+        self.seal_chunk()?;
+        self.drain_pipeline()
+    }
+
+    fn drain_pipeline(&mut self) -> io::Result<()> {
+        if matches!(self.sink, Sink::Pipelined(_)) {
+            let Sink::Pipelined(p) = std::mem::replace(&mut self.sink, Sink::Draining) else {
+                unreachable!()
+            };
+            let sealed = p.next_seq;
+            let done = p.join()?;
+            assert_eq!(done.metas.len() as u64, sealed, "committer lost chunks");
+            debug_assert!(self.metas.is_empty());
+            self.metas = done.metas;
+            debug_assert_eq!(self.raw_bytes, done.raw_bytes);
+            self.sink = Sink::Inline { out: done.out, pos: done.pos };
+        }
         Ok(())
     }
 
@@ -150,24 +341,27 @@ impl StoreWriter {
     /// are the record of truth).
     pub fn finish(&mut self, trace_for_header: &Trace) -> io::Result<StoreSummary> {
         assert!(!self.finished, "finish called twice");
-        self.seal_chunk()?;
+        self.seal_events()?;
+        let Sink::Inline { out, pos } = &mut self.sink else {
+            unreachable!("seal_events leaves an inline sink")
+        };
 
         // Header blob: the text header behind a compression byte.
         let header_text = mempersp_extrae::trace_format::header_sections(trace_for_header);
         let header_raw = header_text.as_bytes();
         let header_lz = lz::compress(header_raw);
-        let header_off = self.pos;
+        let header_off = *pos;
         let (blob, code): (&[u8], u8) = if header_lz.len() < header_raw.len() {
             (&header_lz, Compression::Lz.code())
         } else {
             (header_raw, Compression::Raw.code())
         };
-        self.out.write_all(&[code])?;
-        self.out.write_all(blob)?;
-        self.pos += 1 + blob.len() as u64;
+        out.write_all(&[code])?;
+        out.write_all(blob)?;
+        *pos += 1 + blob.len() as u64;
 
         // Footer index.
-        let index_off = self.pos;
+        let index_off = *pos;
         let mut index = Vec::with_capacity(self.metas.len() * 48 + 32);
         crate::varint::put_u64(&mut index, self.metas.len() as u64);
         for m in &self.metas {
@@ -176,12 +370,12 @@ impl StoreWriter {
         crate::varint::put_u64(&mut index, header_off);
         crate::varint::put_u64(&mut index, header_raw.len() as u64);
         crate::varint::put_u64(&mut index, blob.len() as u64);
-        self.out.write_all(&index)?;
+        out.write_all(&index)?;
 
         // Fixed-size trailer so a reader can find the index from EOF.
-        self.out.write_all(&index_off.to_le_bytes())?;
-        self.out.write_all(TRAILER_MAGIC)?;
-        self.out.flush()?;
+        out.write_all(&index_off.to_le_bytes())?;
+        out.write_all(TRAILER_MAGIC)?;
+        out.flush()?;
         self.finished = true;
 
         Ok(StoreSummary {
@@ -210,7 +404,102 @@ pub fn write_store(path: &Path, trace: &Trace) -> io::Result<StoreSummary> {
 
 /// [`write_store`] with an explicit chunk target.
 pub fn write_store_chunked(path: &Path, trace: &Trace, chunk_target: usize) -> io::Result<StoreSummary> {
-    let mut w = StoreWriter::with_chunk_target(path, chunk_target)?;
+    write_store_with(path, trace, chunk_target, 1)
+}
+
+/// Write `trace` in the legacy row-oriented v1 format (`MPSTORE1`
+/// magic, [`crate::codec::encode_event`] records). Kept so the
+/// reader's v1 path stays covered and as the pre-v2 comparator in the
+/// store benchmarks; new traces should use [`write_store`].
+pub fn write_store_v1(path: &Path, trace: &Trace, chunk_target: usize) -> io::Result<StoreSummary> {
+    let file = std::fs::File::create(path).map_err(|e| {
+        io::Error::new(e.kind(), format!("creating store {}: {e}", path.display()))
+    })?;
+    let mut out = io::BufWriter::new(file);
+    out.write_all(MAGIC_V1)?;
+    let mut pos = MAGIC_V1.len() as u64;
+    let chunk_target = chunk_target.max(1024);
+
+    let mut metas = Vec::new();
+    let mut enc = Vec::new();
+    let mut prev_cycles = 0u64;
+    let mut open = ChunkMeta::summarize(&[]);
+    let mut raw_bytes = 0u64;
+    let mut seal = |enc: &mut Vec<u8>,
+                    open: &mut ChunkMeta,
+                    out: &mut io::BufWriter<std::fs::File>,
+                    pos: &mut u64|
+     -> io::Result<()> {
+        if open.events == 0 {
+            return Ok(());
+        }
+        let mut meta = std::mem::replace(open, ChunkMeta::summarize(&[]));
+        let raw = std::mem::take(enc);
+        raw_bytes += raw.len() as u64;
+        let (payload, compression, m) = compress_chunk(raw, meta);
+        meta = m;
+        meta.offset = *pos;
+        meta.stored_len = payload.len() as u32;
+        meta.compression = compression;
+        out.write_all(&payload)?;
+        *pos += payload.len() as u64;
+        metas.push(meta);
+        Ok(())
+    };
+    for e in &trace.events {
+        crate::codec::encode_event(&mut enc, e, &mut prev_cycles);
+        open.observe(e);
+        open.events += 1;
+        if enc.len() >= chunk_target {
+            seal(&mut enc, &mut open, &mut out, &mut pos)?;
+            prev_cycles = 0; // v1 deltas restart at each chunk
+        }
+    }
+    seal(&mut enc, &mut open, &mut out, &mut pos)?;
+
+    let header_text = mempersp_extrae::trace_format::header_sections(trace);
+    let header_raw = header_text.as_bytes();
+    let header_lz = lz::compress(header_raw);
+    let header_off = pos;
+    let (blob, code): (&[u8], u8) = if header_lz.len() < header_raw.len() {
+        (&header_lz, Compression::Lz.code())
+    } else {
+        (header_raw, Compression::Raw.code())
+    };
+    out.write_all(&[code])?;
+    out.write_all(blob)?;
+    pos += 1 + blob.len() as u64;
+
+    let index_off = pos;
+    let mut index = Vec::with_capacity(metas.len() * 48 + 32);
+    crate::varint::put_u64(&mut index, metas.len() as u64);
+    for m in &metas {
+        m.encode(&mut index);
+    }
+    crate::varint::put_u64(&mut index, header_off);
+    crate::varint::put_u64(&mut index, header_raw.len() as u64);
+    crate::varint::put_u64(&mut index, blob.len() as u64);
+    out.write_all(&index)?;
+    out.write_all(&index_off.to_le_bytes())?;
+    out.write_all(TRAILER_MAGIC)?;
+    out.flush()?;
+
+    Ok(StoreSummary {
+        events: trace.events.len() as u64,
+        chunks: metas.len() as u64,
+        raw_bytes,
+        stored_bytes: metas.iter().map(|m| m.stored_len as u64).sum(),
+    })
+}
+
+/// [`write_store_chunked`] with a compressor pool of `threads`.
+pub fn write_store_with(
+    path: &Path,
+    trace: &Trace,
+    chunk_target: usize,
+    threads: usize,
+) -> io::Result<StoreSummary> {
+    let mut w = StoreWriter::with_threads(path, chunk_target, threads)?;
     for e in &trace.events {
         w.append(e)?;
     }
@@ -237,6 +526,20 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("mempersp_store_w_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    #[test]
+    fn v1_store_round_trips_through_reader() {
+        let path = tmp("legacy.mps");
+        let t = trace(1500);
+        let s = write_store_v1(&path, &t, 4096).unwrap();
+        assert_eq!(s.events, 3000);
+        assert!(s.chunks > 1, "small target forces multiple chunks, got {}", s.chunks);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..8], MAGIC_V1);
+        let r = crate::reader::StoreReader::open(&path).unwrap();
+        let back = r.materialize().unwrap();
+        assert_eq!(back.events, t.events, "v1 files must stay readable");
     }
 
     #[test]
@@ -278,6 +581,37 @@ mod tests {
         assert_eq!(s.chunks, 0);
         let bytes = std::fs::read(&path).unwrap();
         assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipelined_writer_is_byte_identical_to_inline() {
+        let t = trace(6000);
+        let inline = tmp("pipe_inline.mps");
+        let s1 = write_store_with(&inline, &t, 4096, 1).unwrap();
+        let inline_bytes = std::fs::read(&inline).unwrap();
+        for threads in [2, 3, 8] {
+            let path = tmp(&format!("pipe_{threads}.mps"));
+            let s = write_store_with(&path, &t, 4096, threads).unwrap();
+            assert_eq!(s, s1, "summary must not depend on threads");
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                inline_bytes,
+                "threads={threads} produced different bytes"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+        assert!(s1.chunks >= 8, "want many in-flight chunks, got {}", s1.chunks);
+        std::fs::remove_file(&inline).ok();
+    }
+
+    #[test]
+    fn pipelined_empty_trace() {
+        let path = tmp("pipe_empty.mps");
+        let t = Tracer::new(TracerConfig::default(), 1).finish("empty");
+        let mut w = StoreWriter::with_threads(&path, 4096, 4).unwrap();
+        let s = w.finish(&t).unwrap();
+        assert_eq!((s.events, s.chunks), (0, 0));
         std::fs::remove_file(&path).ok();
     }
 }

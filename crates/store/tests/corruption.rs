@@ -1,0 +1,168 @@
+//! Hostile-input tests for the `.mps` reader: truncations at every
+//! byte boundary, random byte flips, and hand-crafted footers with
+//! absurd length claims. `StoreReader::open` (and any query on a
+//! reader that survived `open`) must return descriptive errors —
+//! never panic, and never allocate anywhere near the claimed sizes.
+
+use mempersp_extrae::query::{EventClass, Query};
+use mempersp_extrae::tracer::{Tracer, TracerConfig};
+use mempersp_pebs::CounterSnapshot;
+use mempersp_store::chunk::{ChunkMeta, Compression};
+use mempersp_store::writer::write_store_chunked;
+use mempersp_store::StoreReader;
+use proptest::prelude::*;
+
+fn trace(n: u64) -> mempersp_extrae::tracer::Trace {
+    let mut t = Tracer::new(TracerConfig::default(), 2);
+    let c = CounterSnapshot::from_values([9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2]);
+    for i in 0..n {
+        t.enter((i % 2) as usize, "R", c, i * 10);
+        t.exit((i % 2) as usize, "R", c, i * 10 + 5);
+    }
+    t.finish("corruption test")
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mempersp_store_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A valid multi-chunk store file's bytes, built once per test.
+fn valid_store_bytes() -> Vec<u8> {
+    let path = tmpdir().join(format!("valid_{:?}.mps", std::thread::current().id()));
+    write_store_chunked(&path, &trace(400), 1024).expect("write");
+    let bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn open_bytes(name: &str, bytes: &[u8]) -> std::io::Result<StoreReader> {
+    let path = tmpdir().join(name);
+    std::fs::write(&path, bytes).unwrap();
+    let r = StoreReader::open(&path);
+    std::fs::remove_file(&path).ok();
+    r
+}
+
+/// Every proper prefix of a store file must fail `open` with a
+/// descriptive error — the trailer is the last thing written, so a
+/// truncated file is by construction unsealed. This sweeps *every*
+/// byte boundary, which subsumes the interesting ones (mid-chunk,
+/// mid-header, mid-index, mid-trailer).
+#[test]
+fn open_rejects_truncation_at_every_byte() {
+    let bytes = valid_store_bytes();
+    assert!(bytes.len() > 1000, "want a multi-chunk file, got {} bytes", bytes.len());
+    for len in 0..bytes.len() {
+        let err = match open_bytes("trunc.mps", &bytes[..len]) {
+            Ok(_) => panic!("open accepted a {len}-of-{} byte prefix", bytes.len()),
+            Err(e) => e,
+        };
+        assert!(!err.to_string().is_empty(), "error at prefix {len} must describe itself");
+    }
+    // ... and the untruncated file still opens.
+    open_bytes("trunc.mps", &bytes).expect("full file opens");
+}
+
+/// A footer that claims a gigantic raw chunk payload must be rejected
+/// at `open` — long before anything tries to allocate it.
+#[test]
+fn open_rejects_absurd_chunk_raw_len() {
+    let mut meta = ChunkMeta::summarize(&[]);
+    meta.offset = 8;
+    meta.stored_len = 4;
+    meta.raw_len = u32::MAX; // 4 GiB claim in a 100-byte file
+    meta.compression = Compression::Lz;
+    meta.events = 10;
+    let err = match open_crafted(meta, 0) {
+        Ok(_) => panic!("must reject"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("raw payload"), "undescriptive error: {msg}");
+}
+
+/// Same for a header blob length claim.
+#[test]
+fn open_rejects_absurd_header_len() {
+    let mut meta = ChunkMeta::summarize(&[]);
+    meta.offset = 8;
+    meta.stored_len = 4;
+    meta.raw_len = 4;
+    meta.events = 1;
+    let err = match open_crafted(meta, 1 << 40) {
+        Ok(_) => panic!("must reject"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("header blob"), "undescriptive error: {msg}");
+}
+
+/// Build a file with the v2 magic, 4 bytes of junk chunk payload, an
+/// empty header, one crafted [`ChunkMeta`], and a well-formed trailer.
+fn open_crafted(meta: ChunkMeta, header_raw_len: u64) -> std::io::Result<StoreReader> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"MPSTORE2");
+    bytes.extend_from_slice(&[0xAA; 4]); // the "chunk" payload
+    let header_off = bytes.len() as u64;
+    bytes.push(0); // raw header compression code
+    let index_off = bytes.len() as u64;
+    let mut index = Vec::new();
+    mempersp_store::varint::put_u64(&mut index, 1); // one chunk
+    meta.encode(&mut index);
+    mempersp_store::varint::put_u64(&mut index, header_off);
+    mempersp_store::varint::put_u64(&mut index, header_raw_len);
+    mempersp_store::varint::put_u64(&mut index, 0); // stored header len
+    bytes.extend_from_slice(&index);
+    bytes.extend_from_slice(&index_off.to_le_bytes());
+    bytes.extend_from_slice(b"MPSEND01");
+    open_bytes("crafted.mps", &bytes)
+}
+
+proptest! {
+    /// Arbitrary byte flips anywhere in the file: `open` may succeed
+    /// or fail, but neither it nor a subsequent full query / scan may
+    /// panic, and errors must carry a message.
+    #[test]
+    fn byte_flips_never_panic(
+        flips in prop::collection::vec((0usize..usize::MAX, 1u8..=255), 1..8),
+        case in any::<u64>(),
+    ) {
+        let mut bytes = valid_store_bytes();
+        for (pos, xor) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= xor;
+        }
+        match open_bytes(&format!("flip_{case}.mps"), &bytes) {
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+            Ok(reader) => {
+                // The flip may have landed in a payload: decoding must
+                // surface it as Err, never as a panic.
+                let q = Query::all().with_kinds(&[EventClass::RegionEnter]);
+                let _ = reader.query(&q);
+                let _ = reader.query_parallel(&Query::all(), 4);
+                let _ = reader.materialize();
+            }
+        }
+    }
+
+    /// Truncation combined with a flip — the unsealed-file error path
+    /// must hold whatever the flipped byte was.
+    #[test]
+    fn truncate_then_flip_never_panics(
+        cut in 0usize..usize::MAX,
+        flip in (0usize..usize::MAX, 1u8..=255),
+        case in any::<u64>(),
+    ) {
+        let mut bytes = valid_store_bytes();
+        bytes.truncate(cut % bytes.len());
+        if !bytes.is_empty() {
+            let len = bytes.len();
+            bytes[flip.0 % len] ^= flip.1;
+        }
+        if let Ok(reader) = open_bytes(&format!("cutflip_{case}.mps"), &bytes) {
+            let _ = reader.materialize();
+        }
+    }
+}
