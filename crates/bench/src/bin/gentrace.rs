@@ -17,10 +17,18 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gentrace [--events N] [--cores N] [--seed N] [--threads N] \
+        "usage: gentrace [--events N] [--cores N] [--seed N] [--threads N|auto] \
          [--shard-events N] -o OUT[.mps|.mps.d]"
     );
     std::process::exit(2);
+}
+
+fn parse_threads(v: &str) -> usize {
+    if v == "auto" {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        v.parse().unwrap_or_else(|_| usage())
+    }
 }
 
 fn main() {
@@ -41,7 +49,7 @@ fn main() {
             "--events" => cfg.events = val("--events").parse().unwrap_or_else(|_| usage()),
             "--cores" => cfg.cores = val("--cores").parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
-            "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = parse_threads(&val("--threads")),
             "--shard-events" => {
                 shard_events = Some(val("--shard-events").parse().unwrap_or_else(|_| usage()))
             }
@@ -88,4 +96,7 @@ fn main() {
         secs,
         result.events as f64 / secs / 1e6,
     );
+    if let Some(rss) = mempersp_bench::peak_rss_bytes() {
+        eprintln!("peak RSS {:.1} MB", rss as f64 / 1e6);
+    }
 }

@@ -122,16 +122,29 @@ pub fn is_virtualized() -> bool {
         .unwrap_or(false)
 }
 
+/// Peak resident set of this process so far, in bytes (`VmHWM` from
+/// `/proc/self/status`). `None` where procfs is unavailable (non-Linux
+/// hosts). Note the high-water mark is monotone for the process
+/// lifetime: to compare scenarios within one run, measure the
+/// low-memory scenario first.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Host block for the `BENCH_*.json` summaries, so numbers are never
 /// read without knowing what machine produced them: logical CPU
-/// count, CPU model, and whether the run is virtualized. A
-/// `host_cpus: 1` summary with null cross-thread ratios is a
-/// single-core runner, not a regression.
+/// count, CPU model, whether the run is virtualized, and the process
+/// peak RSS at emission time. A `host_cpus: 1` summary with null
+/// cross-thread ratios is a single-core runner, not a regression.
 pub fn host_info() -> serde_json::Value {
     serde_json::json!({
         "host_cpus": host_cpus(),
         "cpu_model": cpu_model(),
         "virtualized": is_virtualized(),
+        "peak_rss_bytes": peak_rss_bytes(),
     })
 }
 

@@ -23,7 +23,7 @@ use mempersp_core::analysis::objects::object_stats_source;
 use mempersp_core::analysis::phases::iteration_phases;
 use mempersp_core::analysis::reuse::sampled_reuse_histogram;
 use mempersp_core::report::{ascii, figure};
-use mempersp_core::{Machine, MachineConfig};
+use mempersp_core::{run_streaming_to_path, MachineConfig, StreamOptions};
 use mempersp_extrae::query::{EventClass, Query};
 use mempersp_extrae::trace_format::{event_record, save_trace};
 use mempersp_extrae::trace_source::{ScanStats, TraceSource};
@@ -37,23 +37,41 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mempersp run --workload <hpcg|stream|stencil|chase|matmul> \
-         [--nx N] [--iters N] [--cores N] [--threads N] [--no-group] [--haswell] -o <trace>\n  \
+         [--nx N] [--iters N] [--cores N] [--threads N|auto] [--no-group] [--haswell] \
+         [--shard-events N] [--max-inflight N] -o|--out <trace.prv|.mps|.mps.d>\n  \
          mempersp info <trace>\n  mempersp objects <trace>\n  \
          mempersp fold <trace> --region <name> [--csv-dir <dir>] [--stats]\n  \
-         mempersp fold <trace> --regions <a,b,...|all> [--threads N] [--csv-dir <dir>] [--stats]\n  \
+         mempersp fold <trace> --regions <a,b,...|all> [--threads N|auto] [--csv-dir <dir>] [--stats]\n  \
          mempersp export <trace> [--dir <dir>] [--prefix <name>]\n  \
          mempersp profile <trace>\n  \
          mempersp convert <trace> -o <out.prv|out.mps|out.mps.d> \
-         [--shard-events N] [--threads N]\n  \
+         [--shard-events N] [--threads N|auto]\n  \
          mempersp query <trace> [--time lo:hi] [--cores 0,2] [--kinds ENTER,PEBS] \
-         [--object N] [--threads N] [--print N] [--stats]\n\
-         \n  <trace> may be a text .prv trace or a binary .mps store."
+         [--object N] [--threads N|auto] [--print N] [--stats]\n\
+         \n  <trace> may be a text .prv trace or a binary .mps store.\n  \
+         `run` streams events to the output as it simulates; the format \
+         follows the suffix."
     );
     exit(2);
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `--threads`: a worker count, or `auto` to use every host CPU.
+fn threads_arg(args: &[String]) -> usize {
+    match arg_value(args, "--threads") {
+        None => 1,
+        Some(v) if v == "auto" => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| {
+                eprintln!("--threads expects a count or `auto`, got {v:?}");
+                exit(2);
+            })
+            .max(1),
+    }
 }
 
 fn main() {
@@ -103,15 +121,37 @@ fn cmd_export(args: &[String]) {
     }
 }
 
+/// Simulate a workload while streaming its trace straight into the
+/// output format — text `.prv`, single-file `.mps` store or sharded
+/// `.mps.d` directory, chosen by suffix. Events flow to the writer at
+/// every epoch boundary, so peak memory stays O(epoch) instead of
+/// O(trace); the bytes match a materialized run piped through
+/// `convert` exactly.
 fn cmd_run(args: &[String]) {
     let workload_name = arg_value(args, "--workload").unwrap_or_else(|| usage());
-    let out = arg_value(args, "-o").unwrap_or_else(|| "trace.prv".into());
+    let out = arg_value(args, "-o")
+        .or_else(|| arg_value(args, "--out"))
+        .unwrap_or_else(|| "trace.prv".into());
     let nx: usize = arg_value(args, "--nx").and_then(|v| v.parse().ok()).unwrap_or(8);
     let iters: usize = arg_value(args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(3);
     let cores: usize = arg_value(args, "--cores").and_then(|v| v.parse().ok()).unwrap_or(1);
-    let threads: usize =
-        arg_value(args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let threads = threads_arg(args);
     let group = !args.iter().any(|a| a == "--no-group");
+    let opts = StreamOptions {
+        writer_threads: threads,
+        max_inflight: arg_value(args, "--max-inflight").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--max-inflight expects a chunk count, got {v:?}");
+                exit(2);
+            })
+        }),
+        shard_events: arg_value(args, "--shard-events").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--shard-events expects an event count, got {v:?}");
+                exit(2);
+            })
+        }),
+    };
 
     let mut mcfg = if args.iter().any(|a| a == "--haswell") {
         MachineConfig::haswell(cores)
@@ -120,7 +160,7 @@ fn cmd_run(args: &[String]) {
         m.cores = cores;
         m
     };
-    mcfg.threads = threads.max(1);
+    mcfg.threads = threads;
     mcfg.counter_sample_period = mcfg.counter_sample_period.min(20_000);
 
     let mut workload: Box<dyn Workload> = match workload_name.as_str() {
@@ -141,24 +181,25 @@ fn cmd_run(args: &[String]) {
         }
     };
 
-    let mut machine = Machine::new(mcfg);
-    eprintln!("running {} ...", workload.name());
+    eprintln!("running {} (streaming to {out}) ...", workload.name());
     let wall = std::time::Instant::now();
-    let report = machine.run(workload.as_mut());
+    let report =
+        run_streaming_to_path(mcfg, workload.as_mut(), std::path::Path::new(&out), &opts)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot stream to {out}: {e}");
+                exit(1);
+            });
     let elapsed = wall.elapsed().as_secs_f64();
     let accesses = report.stats.total_cores().accesses();
     eprintln!(
-        "done: {} events, {} PEBS samples, {} cycles",
-        report.trace.num_events(),
-        report.trace.pebs_events().count(),
-        report.wall_cycles
+        "done: {} events streamed, {} cycles",
+        report.events_streamed, report.wall_cycles
     );
     eprintln!(
         "simulated {accesses} accesses in {elapsed:.2}s ({:.2} M accesses/s, {threads} thread{})",
         accesses as f64 / elapsed / 1e6,
         if threads == 1 { "" } else { "s" }
     );
-    save_trace(std::path::Path::new(&out), &report.trace).expect("write trace");
     eprintln!("trace written to {out}");
 }
 
@@ -220,8 +261,7 @@ fn cmd_convert(args: &[String]) {
     let out = arg_value(args, "-o").unwrap_or_else(|| usage());
     let t = load(args);
     let out_path = std::path::Path::new(&out);
-    let threads: usize =
-        arg_value(args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let threads = threads_arg(args);
     let shard_events: Option<u64> =
         arg_value(args, "--shard-events").map(|v| {
             v.parse().unwrap_or_else(|_| {
@@ -315,7 +355,7 @@ fn parse_query(args: &[String]) -> Query {
 fn cmd_query(args: &[String]) {
     let path = trace_path(args).clone();
     let q = parse_query(args);
-    let threads: usize = arg_value(args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let threads = threads_arg(args);
     let print: usize = arg_value(args, "--print").and_then(|v| v.parse().ok()).unwrap_or(0);
 
     let p = std::path::Path::new(&path);
@@ -413,8 +453,7 @@ fn cmd_objects(args: &[String]) {
 /// fold work spread over `--threads N` deterministic workers.
 fn cmd_fold(args: &[String]) {
     let mut src = load_source(args);
-    let threads: usize =
-        arg_value(args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let threads = threads_arg(args);
 
     if let Some(spec) = arg_value(args, "--regions") {
         cmd_fold_multi(args, src.as_mut(), &spec, threads);

@@ -29,5 +29,7 @@ pub use analysis::objects::{object_stats, ObjectStat};
 pub use analysis::phases::{iteration_phases, Phase};
 pub use analysis::profile::{flat_profile, ProfileRow};
 pub use analysis::sweeps::{detect_sweep, symgs_sweeps, theil_sen_slope, SweepDirection, SweepInfo};
-pub use machine::{Machine, MachineConfig, PebsCoreSelect, RunReport};
-pub use workflow::{analyze_hpcg, HpcgAnalysis};
+pub use machine::{Machine, MachineConfig, PebsCoreSelect, RunReport, DEFAULT_EPOCH_CAP};
+pub use workflow::{
+    analyze_hpcg, run_streaming_to_path, sink_for_path, HpcgAnalysis, StreamOptions,
+};

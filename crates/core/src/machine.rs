@@ -24,7 +24,10 @@
 //! sequential simulation. Results are bit-identical for any thread
 //! count, including 1.
 
-use mempersp_extrae::{AppContext, CodeLocation, Ip, MemRequest, Trace, Tracer, TracerConfig, Workload};
+use mempersp_extrae::events::TraceEvent;
+use mempersp_extrae::{
+    AppContext, CodeLocation, EventSink, Ip, MemRequest, Trace, Tracer, TracerConfig, Workload,
+};
 use mempersp_memsim::{
     AccessKind, AccessResult, Addr, BatchOp, HierarchyConfig, MemLevel, MemorySystem,
     PrivateResult, UncoreReq,
@@ -33,9 +36,10 @@ use mempersp_pebs::{
     EventKind, MemOp, MultiplexStats, Multiplexer, PebsEvent, Pmu, SamplingConfig,
 };
 
-/// Flush an epoch after this many buffered operations: bounds memory
-/// and keeps the private phase within cache-friendly batch sizes.
-const EPOCH_CAP: usize = 32_768;
+/// Default for [`MachineConfig::epoch_cap`]: flush an epoch after this
+/// many buffered operations — bounds memory and keeps the private
+/// phase within cache-friendly batch sizes.
+pub const DEFAULT_EPOCH_CAP: usize = 32_768;
 
 /// Which cores capture PEBS samples.
 ///
@@ -81,6 +85,11 @@ pub struct MachineConfig {
     /// (clamped to the core count). Results are identical for every
     /// value; this is purely a host-side speed knob.
     pub threads: usize,
+    /// Flush an epoch once this many operations are buffered. Smaller
+    /// caps tighten the streaming pipeline's memory bound (and the
+    /// latency until events reach an attached sink) at the cost of
+    /// more flushes; results are identical for every value ≥ 1.
+    pub epoch_cap: usize,
 }
 
 impl MachineConfig {
@@ -112,6 +121,7 @@ impl MachineConfig {
             mux_slice_cycles: 5_000,
             pebs_cores: PebsCoreSelect::All,
             threads: 1,
+            epoch_cap: DEFAULT_EPOCH_CAP,
         }
     }
 
@@ -143,6 +153,7 @@ impl MachineConfig {
             mux_slice_cycles: 250_000,
             pebs_cores: PebsCoreSelect::Only(0),
             threads: 1,
+            epoch_cap: DEFAULT_EPOCH_CAP,
         }
     }
 }
@@ -150,6 +161,9 @@ impl MachineConfig {
 /// Everything a monitored run produces.
 #[derive(Debug)]
 pub struct RunReport {
+    /// The trace. After [`Machine::run_streaming`] the event list is
+    /// empty — every event went to the sink — but the header side
+    /// (meta, source map, object registry, region names) is complete.
     pub trace: Trace,
     /// Hardware statistics accumulated over the whole run.
     pub stats: mempersp_memsim::SystemStats,
@@ -157,6 +171,8 @@ pub struct RunReport {
     pub mux_stats: Vec<Option<MultiplexStats>>,
     /// Final cycle of the slowest core.
     pub wall_cycles: u64,
+    /// Events handed to the streaming sink (0 for a materialized run).
+    pub events_streamed: u64,
 }
 
 impl RunReport {
@@ -222,6 +238,15 @@ pub struct Machine {
     ph_results: Vec<Vec<PrivateResult>>,
     ph_reqs: Vec<Vec<UncoreReq>>,
     ph_dirs: Vec<Vec<Addr>>,
+    /// Streaming sink for the current [`Machine::run_streaming`] call;
+    /// `None` during materialized runs.
+    sink: Option<Box<dyn EventSink>>,
+    /// First sink I/O failure; once set, draining stops and
+    /// `run_streaming` returns the error.
+    sink_error: Option<std::io::Error>,
+    /// Reused scratch for watermark drains.
+    drain_buf: Vec<TraceEvent>,
+    events_streamed: u64,
 }
 
 /// One buffered operation. Memory ops keep their addr/size in the
@@ -238,6 +263,7 @@ impl Machine {
         assert!(cfg.cores >= 1);
         assert!(cfg.base_cpi > 0.0 && cfg.l1_hit_cost >= 0.0);
         assert!(cfg.default_overlap >= 1.0, "overlap < 1 would amplify latencies");
+        assert!(cfg.epoch_cap >= 1, "an epoch holds at least one operation");
         let mem = MemorySystem::new(cfg.hierarchy.clone(), cfg.cores);
         let tracer = Tracer::new(cfg.tracer, cfg.cores);
         let cores = (0..cfg.cores)
@@ -266,6 +292,10 @@ impl Machine {
             ph_results: vec![Vec::new(); n],
             ph_reqs: vec![Vec::new(); n],
             ph_dirs: vec![Vec::new(); n],
+            sink: None,
+            sink_error: None,
+            drain_buf: Vec::new(),
+            events_streamed: 0,
         }
     }
 
@@ -289,7 +319,79 @@ impl Machine {
             stats: self.mem.stats(),
             mux_stats: self.cores.iter().map(|c| c.mux.as_ref().map(|m| m.stats())).collect(),
             wall_cycles: self.cores.iter().map(|c| c.clock()).max().unwrap_or(0),
+            events_streamed: 0,
         }
+    }
+
+    /// Run a workload while streaming its events into `sink` as the
+    /// simulation progresses, never holding more than one epoch's
+    /// events in the tracer. At every epoch flush, events timestamped
+    /// at or before the minimum per-core clock are final (clocks only
+    /// move forward), so they are drained — in exactly the order
+    /// [`Tracer::finish`] would emit them — and handed to the sink;
+    /// the trailing residue follows after the workload completes. The
+    /// produced event stream is byte-for-byte the one a materialized
+    /// [`Machine::run`] yields, so a store written this way is
+    /// identical to one converted from the materialized trace.
+    ///
+    /// The returned report's `trace` carries the full header but no
+    /// events (they all live in the sink, which has been `finish`ed
+    /// with that header). The first sink I/O error aborts the run's
+    /// output and is returned; simulation state is still advanced.
+    pub fn run_streaming(
+        &mut self,
+        workload: &mut dyn Workload,
+        sink: Box<dyn EventSink>,
+    ) -> std::io::Result<RunReport> {
+        assert!(self.sink.is_none(), "run_streaming is not reentrant");
+        self.sink = Some(sink);
+        self.sink_error = None;
+        self.events_streamed = 0;
+        workload.run(self);
+        self.flush_epoch();
+        // Everything still buffered is final now.
+        self.forward_ready(u64::MAX);
+        let name = workload.name();
+        let tracer = std::mem::replace(&mut self.tracer, Tracer::new(self.cfg.tracer, self.cfg.cores));
+        let trace = tracer.finish(&name);
+        let mut sink = self.sink.take().expect("installed above");
+        if let Some(err) = self.sink_error.take() {
+            return Err(err);
+        }
+        sink.finish(&trace)?;
+        Ok(RunReport {
+            trace,
+            stats: self.mem.stats(),
+            mux_stats: self.cores.iter().map(|c| c.mux.as_ref().map(|m| m.stats())).collect(),
+            wall_cycles: self.cores.iter().map(|c| c.clock()).max().unwrap_or(0),
+            events_streamed: self.events_streamed,
+        })
+    }
+
+    /// Drain tracer events that can no longer be preceded — those at
+    /// or before the minimum per-core clock — into the sink.
+    fn drain_to_sink(&mut self) {
+        if self.sink.is_none() || self.sink_error.is_some() {
+            return;
+        }
+        let watermark = self.cores.iter().map(|c| c.clock()).min().unwrap_or(u64::MAX);
+        self.forward_ready(watermark);
+    }
+
+    fn forward_ready(&mut self, watermark: u64) {
+        let Some(sink) = self.sink.as_mut() else { return };
+        if self.sink_error.is_some() {
+            return;
+        }
+        self.tracer.drain_ready(watermark, &mut self.drain_buf);
+        for e in self.drain_buf.drain(..) {
+            if let Err(err) = sink.append_event(&e) {
+                self.sink_error = Some(err);
+                break;
+            }
+            self.events_streamed += 1;
+        }
+        self.drain_buf.clear();
     }
 
     /// Advance `core`'s clock by `cycles` and keep its cycle counter
@@ -321,7 +423,7 @@ impl Machine {
     fn push_mem(&mut self, core: usize, ip: Ip, addr: u64, size: u32, kind: AccessKind) {
         self.epoch.push(EpochOp::Mem { core: core as u32, ip });
         self.epoch_mem[core].push(BatchOp { kind, addr, size });
-        if self.epoch.len() >= EPOCH_CAP {
+        if self.epoch.len() >= self.cfg.epoch_cap {
             self.flush_epoch();
         }
     }
@@ -332,6 +434,7 @@ impl Machine {
     /// workload can observe is already accounted.
     fn flush_epoch(&mut self) {
         if self.epoch.is_empty() {
+            self.drain_to_sink();
             return;
         }
         let epoch = std::mem::take(&mut self.epoch);
@@ -369,6 +472,7 @@ impl Machine {
             v.clear();
         }
         self.epoch_mem = per_core;
+        self.drain_to_sink();
     }
 
     /// The two-phase path for a conflict-free epoch: parallel private
@@ -612,14 +716,14 @@ impl AppContext for Machine {
                 size: op.size,
             });
         }
-        if self.epoch.len() >= EPOCH_CAP {
+        if self.epoch.len() >= self.cfg.epoch_cap {
             self.flush_epoch();
         }
     }
 
     fn compute(&mut self, core: usize, ip: Ip, instructions: u64, branches: u64) {
         self.epoch.push(EpochOp::Compute { core: core as u32, ip, instructions, branches });
-        if self.epoch.len() >= EPOCH_CAP {
+        if self.epoch.len() >= self.cfg.epoch_cap {
             self.flush_epoch();
         }
     }

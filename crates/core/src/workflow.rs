@@ -7,7 +7,11 @@ use crate::analysis::objects::{object_stats, resolved_fraction, ObjectStat};
 use crate::analysis::phases::{iteration_phases, Phase};
 use crate::analysis::sweeps::{sweep_split_x, symgs_sweeps, SweepInfo};
 use crate::machine::{Machine, MachineConfig, RunReport};
-use mempersp_extrae::ObjectId;
+use mempersp_extrae::stream_writer::PrvSink;
+use mempersp_extrae::{EventSink, ObjectId, Workload};
+use mempersp_store::{ShardedWriter, StoreWriter, DEFAULT_CHUNK_BYTES, SHARD_DIR_SUFFIX};
+use std::io;
+use std::path::Path;
 use mempersp_folding::{fold_regions, FoldedRegion, FoldingConfig, RegionRequest};
 use mempersp_hpcg::generate::{expected_matrix_group_bytes, GROUP_MAP, GROUP_MATRIX};
 use mempersp_hpcg::kernels::{SYMGS_BWD_LINES, SYMGS_FILE, SYMGS_FWD_LINES};
@@ -38,6 +42,71 @@ pub struct HpcgAnalysis {
     pub objects: Vec<ObjectStat>,
     /// Fraction of execution-phase PEBS samples resolved to objects.
     pub resolved_fraction: f64,
+}
+
+/// Options for [`run_streaming_to_path`]'s writer side.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Compressor threads of the store writer (ignored for `.prv`).
+    pub writer_threads: usize,
+    /// In-flight chunk budget; `None` takes the writer default
+    /// (`threads × DEFAULT_INFLIGHT_PER_THREAD`).
+    pub max_inflight: Option<usize>,
+    /// Roll `.mps.d` shards every this many events. `Some` forces the
+    /// sharded layout even without the `.mps.d` suffix.
+    pub shard_events: Option<u64>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions { writer_threads: 1, max_inflight: None, shard_events: None }
+    }
+}
+
+/// Build the event sink `run --out` streams into, picked by suffix:
+/// `.mps.d` (or an explicit shard threshold) → sharded store, `.mps`
+/// → single-file store, anything else → Paraver text via [`PrvSink`].
+pub fn sink_for_path(out: &Path, opts: &StreamOptions) -> io::Result<Box<dyn EventSink>> {
+    let threads = opts.writer_threads.max(1);
+    let is_shard_dir = out
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.ends_with(SHARD_DIR_SUFFIX));
+    if is_shard_dir || opts.shard_events.is_some() {
+        let per_shard =
+            opts.shard_events.unwrap_or(mempersp_store::DEFAULT_EVENTS_PER_SHARD);
+        let w = match opts.max_inflight {
+            Some(b) => {
+                ShardedWriter::with_budget(out, DEFAULT_CHUNK_BYTES, threads, per_shard, b)?
+            }
+            None => ShardedWriter::with_options(out, DEFAULT_CHUNK_BYTES, threads, per_shard)?,
+        };
+        return Ok(Box::new(w));
+    }
+    if out.extension().is_some_and(|e| e == "mps") {
+        let w = match opts.max_inflight {
+            Some(b) => StoreWriter::with_options(out, DEFAULT_CHUNK_BYTES, threads, b)?,
+            None => StoreWriter::with_threads(out, DEFAULT_CHUNK_BYTES, threads)?,
+        };
+        return Ok(Box::new(w));
+    }
+    Ok(Box::new(PrvSink::create(out)?))
+}
+
+/// The one-pass trace-production pipeline: simulate `workload` on a
+/// fresh machine while events stream straight into the on-disk format
+/// named by `out` — no materialized event list, peak memory O(epoch).
+/// The bytes written are identical to materializing the trace and
+/// converting it afterwards, for any writer thread count.
+pub fn run_streaming_to_path(
+    machine_cfg: MachineConfig,
+    workload: &mut dyn Workload,
+    out: &Path,
+    opts: &StreamOptions,
+) -> io::Result<RunReport> {
+    let sink = sink_for_path(out, opts)?;
+    let mut machine = Machine::new(machine_cfg);
+    machine.run_streaming(workload, sink)
 }
 
 /// Run the benchmark and the full analysis.

@@ -46,6 +46,6 @@ pub use objects::{ObjectId, ObjectKind, ObjectRegistry, ResolvedObject};
 pub use query::{EventClass, KindMask, Query};
 pub use sim_alloc::SimAllocator;
 pub use source::{CodeLocation, Ip, SourceMap};
-pub use stream_writer::{EventSink, StreamWriter};
+pub use stream_writer::{EventSink, PrvSink, StreamWriter};
 pub use trace_source::{MaterializedSource, ScanStats, TraceSource};
 pub use tracer::{Trace, TraceMeta, Tracer, TracerConfig};

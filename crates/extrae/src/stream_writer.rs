@@ -151,6 +151,62 @@ impl StreamWriter {
     }
 }
 
+/// [`StreamWriter`] adapted to the [`EventSink`] interface: events
+/// stream into an intermediate body file next to `final_path`, and
+/// sealing merges header + body into `final_path` — so a monitored
+/// run can target a text `.prv` through the same sink plumbing the
+/// binary store uses. An optional tee sink (typically the store
+/// writer) receives every event from the background thread in the
+/// same order, letting one pass emit `.prv` and `.mps` together.
+pub struct PrvSink {
+    writer: Option<StreamWriter>,
+    final_path: PathBuf,
+    lines: u64,
+}
+
+impl PrvSink {
+    /// Default bound of the writer's event queue.
+    pub const DEFAULT_QUEUE_DEPTH: usize = 4096;
+
+    /// Stream toward `final_path`; the intermediate body is
+    /// `<final_path>.mpit` and must not already exist.
+    pub fn create(final_path: &Path) -> std::io::Result<PrvSink> {
+        Self::with_tee(final_path, Self::DEFAULT_QUEUE_DEPTH, None)
+    }
+
+    /// [`PrvSink::create`] with an explicit queue depth and an
+    /// optional secondary sink fed from the writer thread.
+    pub fn with_tee(
+        final_path: &Path,
+        queue_depth: usize,
+        tee: Option<Box<dyn EventSink>>,
+    ) -> std::io::Result<PrvSink> {
+        let mut body = final_path.as_os_str().to_os_string();
+        body.push(".mpit");
+        let writer = StreamWriter::create_with_sink(Path::new(&body), queue_depth, tee)?;
+        Ok(PrvSink { writer: Some(writer), final_path: final_path.to_path_buf(), lines: 0 })
+    }
+
+    /// Event records merged into the final trace (valid after
+    /// [`EventSink::finish`]).
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl EventSink for PrvSink {
+    fn append_event(&mut self, event: &TraceEvent) -> std::io::Result<()> {
+        self.writer.as_ref().expect("append after finish").append(event);
+        Ok(())
+    }
+
+    fn finish(&mut self, trace_for_header: &Trace) -> std::io::Result<()> {
+        let writer = self.writer.take().expect("finish called once");
+        self.lines = writer.finalize(trace_for_header, &self.final_path)?;
+        Ok(())
+    }
+}
+
 impl Drop for StreamWriter {
     fn drop(&mut self) {
         // Unblock the worker if finalize was never called.

@@ -389,6 +389,32 @@ impl Tracer {
         self.resolution
     }
 
+    /// Streaming support: hand over every buffered event whose
+    /// timestamp is `<= watermark`, in exactly the global order
+    /// [`Tracer::finish`] would have produced, appending them to
+    /// `out`. Later-timestamped events stay buffered.
+    ///
+    /// The caller promises that every event it will record *after*
+    /// this call carries a timestamp `>= watermark` (for the machine,
+    /// the watermark is the minimum of all per-core clocks at an epoch
+    /// boundary — core clocks only move forward). Under that contract,
+    /// concatenating successive drains with the events left for
+    /// `finish` reproduces the finish-time sort byte for byte: the
+    /// sort is stable, drained events were recorded before any future
+    /// ones, and ties on the watermark itself therefore keep their
+    /// recording order.
+    pub fn drain_ready(&mut self, watermark: u64, out: &mut Vec<TraceEvent>) {
+        if self.events.is_empty() {
+            return;
+        }
+        // Same stable sort as `finish`; repeating it over the residue
+        // plus newly recorded events composes with previous drains
+        // (equal timestamps stay in recording order throughout).
+        self.events.sort_by_key(|e| e.cycles);
+        let ready = self.events.partition_point(|e| e.cycles <= watermark);
+        out.extend(self.events.drain(..ready));
+    }
+
     /// Finish the run and produce the trace. Panics if any region is
     /// still open (unbalanced instrumentation).
     pub fn finish(self, description: &str) -> Trace {
@@ -582,6 +608,58 @@ mod tests {
         let t = Tracer::new(TracerConfig { freq_mhz: 2500, ..Default::default() }, 1);
         let tr = t.finish("test");
         assert!((tr.cycles_to_ns(2500) - 1000.0).abs() < 1e-9, "2500 cycles @2.5GHz = 1 µs");
+    }
+
+    #[test]
+    fn drain_ready_reproduces_finish_order() {
+        // Two tracers fed identically; one is drained incrementally at
+        // watermarks, the other finishes in one go. The concatenation
+        // of the drains plus the finish residue must match the
+        // one-shot finish order exactly, including ties.
+        let feed = |t: &mut Tracer| {
+            let c = CounterSnapshot::default();
+            t.enter(1, "B", c, 50);
+            t.enter(0, "A", c, 10);
+            t.user_event(0, 1, 1, 50); // tie with core 1's enter
+            t.exit(0, "A", c, 60);
+            t.user_event(1, 2, 2, 55);
+            t.exit(1, "B", c, 80);
+        };
+        let mut whole = Tracer::new(TracerConfig::default(), 2);
+        feed(&mut whole);
+        let reference = whole.finish("ref").events;
+
+        let mut streamed = Tracer::new(TracerConfig::default(), 2);
+        let c = CounterSnapshot::default();
+        let mut drained = Vec::new();
+        streamed.enter(1, "B", c, 50);
+        streamed.enter(0, "A", c, 10);
+        streamed.user_event(0, 1, 1, 50);
+        // Watermark 50: core 0 is at 50, core 1 at 50; ties on the
+        // watermark drain in recording order.
+        streamed.drain_ready(50, &mut drained);
+        assert_eq!(drained.len(), 3, "10, 50, 50 are all <= watermark");
+        streamed.exit(0, "A", c, 60);
+        streamed.user_event(1, 2, 2, 55);
+        streamed.drain_ready(55, &mut drained);
+        streamed.exit(1, "B", c, 80);
+        let residue = streamed.finish("streamed").events;
+        drained.extend(residue);
+        assert_eq!(drained, reference);
+    }
+
+    #[test]
+    fn drain_ready_leaves_later_events_buffered() {
+        let mut t = Tracer::new(TracerConfig::default(), 1);
+        t.user_event(0, 1, 1, 10);
+        t.user_event(0, 1, 2, 100);
+        let mut out = Vec::new();
+        t.drain_ready(50, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(t.num_events(), 1, "the t=100 event stays buffered");
+        t.drain_ready(u64::MAX, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(t.num_events(), 0);
     }
 
     #[test]

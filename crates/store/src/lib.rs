@@ -52,10 +52,12 @@ pub mod writer;
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use chunk::{ChunkMeta, Compression};
 pub use reader::{StoreReader, PARALLEL_MIN_CHUNKS};
-pub use shard::{write_store_sharded, ShardedReader, ShardedWriter, SHARD_DIR_SUFFIX};
+pub use shard::{
+    write_store_sharded, ShardedReader, ShardedWriter, DEFAULT_EVENTS_PER_SHARD, SHARD_DIR_SUFFIX,
+};
 pub use source::{open_trace_source, MpsSource};
 pub use varint::CodecError;
 pub use writer::{
     write_store, write_store_chunked, write_store_v1, write_store_with, StoreSummary, StoreWriter,
-    DEFAULT_CHUNK_BYTES,
+    DEFAULT_CHUNK_BYTES, DEFAULT_INFLIGHT_PER_THREAD,
 };

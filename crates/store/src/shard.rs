@@ -32,7 +32,9 @@
 
 use crate::cache::CacheConfig;
 use crate::reader::StoreReader;
-use crate::writer::{StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES};
+use crate::writer::{
+    StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES, DEFAULT_INFLIGHT_PER_THREAD,
+};
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::query::Query;
 use mempersp_extrae::stream_writer::EventSink;
@@ -69,6 +71,7 @@ pub struct ShardedWriter {
     dir: PathBuf,
     chunk_target: usize,
     threads: usize,
+    max_inflight: usize,
     events_per_shard: u64,
     /// Every shard opened so far; footers are written at `finish`,
     /// when the header is finally known.
@@ -93,6 +96,25 @@ impl ShardedWriter {
         threads: usize,
         events_per_shard: u64,
     ) -> io::Result<ShardedWriter> {
+        Self::with_budget(
+            dir,
+            chunk_target,
+            threads,
+            events_per_shard,
+            threads * DEFAULT_INFLIGHT_PER_THREAD,
+        )
+    }
+
+    /// [`ShardedWriter::with_options`] with an explicit in-flight chunk
+    /// budget for the active shard's pipeline (see
+    /// [`StoreWriter::with_options`]).
+    pub fn with_budget(
+        dir: &Path,
+        chunk_target: usize,
+        threads: usize,
+        events_per_shard: u64,
+        max_inflight: usize,
+    ) -> io::Result<ShardedWriter> {
         std::fs::create_dir_all(dir).map_err(|e| {
             io::Error::new(e.kind(), format!("creating shard dir {}: {e}", dir.display()))
         })?;
@@ -100,6 +122,7 @@ impl ShardedWriter {
             dir: dir.to_path_buf(),
             chunk_target,
             threads,
+            max_inflight,
             events_per_shard: events_per_shard.max(1),
             shards: Vec::new(),
             current_events: 0,
@@ -109,7 +132,12 @@ impl ShardedWriter {
 
     fn open_shard(&mut self) -> io::Result<()> {
         let name = shard_name(self.shards.len());
-        let w = StoreWriter::with_threads(&self.dir.join(&name), self.chunk_target, self.threads)?;
+        let w = StoreWriter::with_options(
+            &self.dir.join(&name),
+            self.chunk_target,
+            self.threads,
+            self.max_inflight,
+        )?;
         self.shards.push((name, w));
         self.current_events = 0;
         Ok(())

@@ -60,6 +60,10 @@ pub const MAGIC_V1: &[u8; 8] = b"MPSTORE1";
 pub const TRAILER_MAGIC: &[u8; 8] = b"MPSEND01";
 /// Default target for one chunk's *raw* encoded payload.
 pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+/// Default in-flight chunk budget per compressor thread (sealed but
+/// not yet committed). The product `threads × this` bounds the
+/// pipelined writer's buffered chunks, and with it peak memory.
+pub const DEFAULT_INFLIGHT_PER_THREAD: usize = 2;
 
 /// What a finished store contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,9 +120,15 @@ struct Pipeline {
 }
 
 impl Pipeline {
-    fn spawn(out: io::BufWriter<std::fs::File>, pos: u64, threads: usize) -> Pipeline {
-        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(threads * 2);
-        let (done_tx, done_rx) = mpsc::sync_channel::<Done>(threads * 2);
+    fn spawn(out: io::BufWriter<std::fs::File>, pos: u64, threads: usize, max_inflight: usize) -> Pipeline {
+        // Two bounded hand-off points; together they cap how many
+        // sealed chunks can exist between the ingest thread and the
+        // committed file, which is what bounds the writer's RSS when a
+        // simulation streams into it. The bound never changes the
+        // bytes — only how early `append` feels backpressure.
+        let max_inflight = max_inflight.max(1);
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(max_inflight);
+        let (done_tx, done_rx) = mpsc::sync_channel::<Done>(max_inflight);
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
 
         let workers: Vec<_> = (0..threads)
@@ -229,6 +239,20 @@ impl StoreWriter {
     /// deterministic in-order committer — the file bytes are identical
     /// either way.
     pub fn with_threads(path: &Path, chunk_target: usize, threads: usize) -> io::Result<StoreWriter> {
+        Self::with_options(path, chunk_target, threads, threads * DEFAULT_INFLIGHT_PER_THREAD)
+    }
+
+    /// [`StoreWriter::with_threads`] with an explicit in-flight chunk
+    /// budget: at most `max_inflight` sealed chunks wait in each of
+    /// the pipeline's two queues, so a producer that outruns the
+    /// compressor pool blocks in `append` instead of growing the heap.
+    /// Output bytes do not depend on the budget (or the thread count).
+    pub fn with_options(
+        path: &Path,
+        chunk_target: usize,
+        threads: usize,
+        max_inflight: usize,
+    ) -> io::Result<StoreWriter> {
         let file = std::fs::File::create(path).map_err(|e| {
             io::Error::new(e.kind(), format!("creating store {}: {e}", path.display()))
         })?;
@@ -236,7 +260,7 @@ impl StoreWriter {
         out.write_all(MAGIC)?;
         let pos = MAGIC.len() as u64;
         let sink = if threads > 1 {
-            Sink::Pipelined(Pipeline::spawn(out, pos, threads))
+            Sink::Pipelined(Pipeline::spawn(out, pos, threads, max_inflight))
         } else {
             Sink::Inline { out, pos }
         };
