@@ -17,7 +17,12 @@
 //!   4 worker threads; on a host with >= 4 CPUs this must not be
 //!   slower than the sequential cold scan (the candidate set is
 //!   asserted to exceed `PARALLEL_MIN_CHUNKS`, so the fan-out path —
-//!   not the small-trace fallback — is what's measured).
+//!   not the small-trace fallback — is what's measured);
+//! * `mps_cold_scan_noverify` — the same cold scan with per-chunk
+//!   CRC32C verification disabled (`set_verify(false)`, the `query
+//!   --no-verify` escape hatch). The gap between this and
+//!   `mps_cold_scan` is the price of the v3 durability checksums,
+//!   asserted < 5% on capable hosts.
 //!
 //! Ingest scenarios: the same generated stream written with the
 //! inline compressor (`ingest_serial`) and with a 4-thread compressor
@@ -151,10 +156,25 @@ fn main() {
         m
     });
 
+    let no_verify = best_of(TRIALS, || {
+        let mut reader = StoreReader::open(&mps).expect("open");
+        reader.set_verify(false);
+        let t = Instant::now();
+        let (events, _) = reader.query(&q).expect("query");
+        let m = Measure {
+            name: "mps_cold_scan_noverify",
+            matched: events.len() as u64,
+            seconds: t.elapsed().as_secs_f64(),
+        };
+        black_box(events);
+        m
+    });
+
     assert_eq!(prv_parse.matched, cold.matched, "containers must agree");
     assert_eq!(v1_cold.matched, cold.matched, "codecs must agree");
     assert_eq!(cold.matched, cached.matched);
     assert_eq!(cold.matched, parallel.matched);
+    assert_eq!(cold.matched, no_verify.matched, "verification must not change the answer");
 
     let stats = cold_stats.expect("cold scan ran");
     let candidates = stats.chunks_decoded + stats.chunks_cached;
@@ -194,8 +214,31 @@ fn main() {
     let parallel_bytes = std::fs::read(dir.join("ingest_parallel.mps")).expect("read parallel");
     assert_eq!(serial_bytes, parallel_bytes, "compressor pool must not change the bytes");
 
-    let measures =
-        [&prv_parse, &v1_cold, &cold, &cached, &parallel, &ingest_serial, &ingest_parallel];
+    // The durability-tax gate: checksumming every decoded chunk must
+    // stay in the measurement noise. Host-gated like the thread-count
+    // asserts — a 1-cpu container's timer jitter swamps a few percent.
+    let crc_overhead = cold.seconds / no_verify.seconds - 1.0;
+    if host_cpus() >= 4 {
+        assert!(
+            crc_overhead < 0.05,
+            "CRC32C verification costs {:.1}% on a cold scan ({:.4}s vs {:.4}s no-verify); \
+             the durability budget is 5%",
+            crc_overhead * 100.0,
+            cold.seconds,
+            no_verify.seconds
+        );
+    }
+
+    let measures = [
+        &prv_parse,
+        &v1_cold,
+        &cold,
+        &no_verify,
+        &cached,
+        &parallel,
+        &ingest_serial,
+        &ingest_parallel,
+    ];
     let mut scenarios = Vec::new();
     for m in measures {
         println!(
@@ -226,6 +269,7 @@ fn main() {
     println!("cold v2 scan vs prv parse+filter:  {cold_vs_prv:.2}x");
     println!("cold v2 scan vs cold v1 scan:      {v2_vs_v1:.2}x");
     println!("cached re-query vs cold scan:      {cached_vs_cold:.2}x");
+    println!("checksum verification overhead:    {:.2}%", crc_overhead * 100.0);
     let ratio = |v: &serde_json::Value| match v.as_f64() {
         Some(r) => format!("{r:.2}x"),
         None => "null (host too small)".to_string(),
@@ -246,6 +290,7 @@ fn main() {
         "cold_vs_prv_speedup": cold_vs_prv,
         "v2_vs_v1_speedup": v2_vs_v1,
         "cached_vs_cold_speedup": cached_vs_cold,
+        "crc_verify_overhead": crc_overhead,
         "parallel_vs_cold_speedup": parallel_vs_cold,
         "parallel_vs_cold_skipped_reason": parallel_skip,
         "ingest_parallel_speedup": ingest_speedup,

@@ -17,6 +17,14 @@
 //! either the text `.prv` trace or the chunked binary `.mps` store
 //! (formats are sniffed, not guessed from the extension); on a store,
 //! selective analyses decode only the chunks their predicates touch.
+//!
+//! Durability verbs: `mempersp fsck <trace>` verifies every checksum
+//! of a v3 store and prints a damage map; `mempersp recover <in> -o
+//! <out>` salvages the readable chunks of a damaged (or torn `.tmp`)
+//! store into a clean one.
+//!
+//! Exit codes: 0 success/clean, 1 usage or IO error, 2 corruption
+//! detected.
 
 use mempersp_core::analysis::latency::latency_profile;
 use mempersp_core::analysis::objects::object_stats_source;
@@ -30,29 +38,44 @@ use mempersp_extrae::trace_source::{ScanStats, TraceSource};
 use mempersp_extrae::{Trace, Workload};
 use mempersp_folding::{fold_region_source, fold_regions_source, FoldingConfig, RegionRequest};
 use mempersp_hpcg::{HpcgConfig, HpcgWorkload};
-use mempersp_store::{open_trace_source, MpsSource, SHARD_DIR_SUFFIX};
+use mempersp_store::{open_trace_source, MpsSource, RecoveryMode, SHARD_DIR_SUFFIX};
 use mempersp_workloads::{PointerChase, Stencil7, StreamTriad, TiledMatmul};
 use std::process::exit;
+
+/// Exit code for corruption detected in a trace store (usage and
+/// plain IO errors exit 1, success 0).
+const EXIT_CORRUPT: i32 = 2;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  mempersp run --workload <hpcg|stream|stencil|chase|matmul> \
          [--nx N] [--iters N] [--cores N] [--threads N|auto] [--no-group] [--haswell] \
-         [--shard-events N] [--max-inflight N] -o|--out <trace.prv|.mps|.mps.d>\n  \
+         [--shard-events N] [--max-inflight N] [--force] -o|--out <trace.prv|.mps|.mps.d>\n  \
          mempersp info <trace>\n  mempersp objects <trace>\n  \
          mempersp fold <trace> --region <name> [--csv-dir <dir>] [--stats]\n  \
          mempersp fold <trace> --regions <a,b,...|all> [--threads N|auto] [--csv-dir <dir>] [--stats]\n  \
          mempersp export <trace> [--dir <dir>] [--prefix <name>]\n  \
          mempersp profile <trace>\n  \
          mempersp convert <trace> -o <out.prv|out.mps|out.mps.d> \
-         [--shard-events N] [--threads N|auto]\n  \
+         [--shard-events N] [--threads N|auto] [--force]\n  \
          mempersp query <trace> [--time lo:hi] [--cores 0,2] [--kinds ENTER,PEBS] \
-         [--object N] [--threads N|auto] [--print N] [--stats]\n\
+         [--object N] [--threads N|auto] [--print N] [--stats] [--no-verify]\n  \
+         mempersp fsck <trace.mps|trace.mps.d|trace.mps.tmp>\n  \
+         mempersp recover <damaged.mps|.mps.d|.mps.tmp> -o <out.mps> [--force]\n\
          \n  <trace> may be a text .prv trace or a binary .mps store.\n  \
          `run` streams events to the output as it simulates; the format \
-         follows the suffix."
+         follows the suffix.\n  \
+         exit codes: 0 success/clean, 1 usage or IO error, 2 corruption detected."
     );
-    exit(2);
+    exit(1);
+}
+
+/// Report a failure and exit with the right code: corruption
+/// (`InvalidData` — bad checksum, truncation, torn file) exits 2 so
+/// scripts can tell "the store is damaged" from plain IO trouble (1).
+fn die(context: &str, e: &std::io::Error) -> ! {
+    eprintln!("{context}: {e}");
+    exit(if e.kind() == std::io::ErrorKind::InvalidData { EXIT_CORRUPT } else { 1 });
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -68,7 +91,7 @@ fn threads_arg(args: &[String]) -> usize {
             .parse::<usize>()
             .unwrap_or_else(|_| {
                 eprintln!("--threads expects a count or `auto`, got {v:?}");
-                exit(2);
+                exit(1);
             })
             .max(1),
     }
@@ -85,7 +108,73 @@ fn main() {
         Some("profile") => cmd_profile(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Verify every checksum of a store (single file, shard directory or
+/// a torn `.tmp`), print the damage map, and exit 2 if anything is
+/// wrong.
+fn cmd_fsck(args: &[String]) {
+    let path = trace_path(args);
+    let report = mempersp_store::fsck_store(std::path::Path::new(path))
+        .unwrap_or_else(|e| die(&format!("fsck {path}"), &e));
+    println!(
+        "{}: format v{}, {} shard{}, {} chunks, {} events",
+        path,
+        report.format_version,
+        report.shards,
+        if report.shards == 1 { "" } else { "s" },
+        report.chunks,
+        report.events
+    );
+    if !report.header_intact {
+        println!("header: LOST (salvage will synthesize one)");
+    }
+    if report.is_clean() {
+        if report.format_version >= 3 {
+            println!("clean: every frame, payload, header and index checksum verified");
+        } else {
+            println!(
+                "clean: structure and payloads decode (pre-v3 store, no checksums to verify)"
+            );
+        }
+        return;
+    }
+    println!("damage ({} finding{}):", report.damage.len(), if report.damage.len() == 1 { "" } else { "s" });
+    for d in &report.damage {
+        println!("  {d}");
+    }
+    exit(EXIT_CORRUPT);
+}
+
+/// Salvage the readable chunks of a damaged store into a fresh,
+/// fully-checksummed v3 store.
+fn cmd_recover(args: &[String]) {
+    let input = trace_path(args).clone();
+    let out = arg_value(args, "-o").or_else(|| arg_value(args, "--out")).unwrap_or_else(|| usage());
+    let force = args.iter().any(|a| a == "--force");
+    let out_path = std::path::Path::new(&out);
+    if let Err(e) = mempersp_store::check_clobber(out_path, force) {
+        eprintln!("recover: {e}");
+        exit(1);
+    }
+    let report = mempersp_store::recover_store(std::path::Path::new(&input), out_path)
+        .unwrap_or_else(|e| die(&format!("recover {input}"), &e));
+    eprintln!(
+        "recovered {} events from {} chunks into {out}{}",
+        report.events,
+        report.chunks,
+        if report.header_intact { "" } else { " (header lost; synthesized a minimal one)" }
+    );
+    if !report.damage.is_empty() {
+        let n = report.damage.len();
+        eprintln!("input damage ({n} finding{}):", if n == 1 { "" } else { "s" });
+        for d in &report.damage {
+            eprintln!("  {d}");
+        }
     }
 }
 
@@ -138,17 +227,18 @@ fn cmd_run(args: &[String]) {
     let threads = threads_arg(args);
     let group = !args.iter().any(|a| a == "--no-group");
     let opts = StreamOptions {
+        force: args.iter().any(|a| a == "--force"),
         writer_threads: threads,
         max_inflight: arg_value(args, "--max-inflight").map(|v| {
             v.parse().unwrap_or_else(|_| {
                 eprintln!("--max-inflight expects a chunk count, got {v:?}");
-                exit(2);
+                exit(1);
             })
         }),
         shard_events: arg_value(args, "--shard-events").map(|v| {
             v.parse().unwrap_or_else(|_| {
                 eprintln!("--shard-events expects an event count, got {v:?}");
-                exit(2);
+                exit(1);
             })
         }),
     };
@@ -207,7 +297,7 @@ fn cmd_run(args: &[String]) {
 /// value consume the following argument, so `--time 0:1000 t.mps`
 /// resolves to `t.mps`, not `0:1000`.
 fn trace_path(args: &[String]) -> &String {
-    const BOOL_FLAGS: &[&str] = &["--stats", "--no-group", "--haswell"];
+    const BOOL_FLAGS: &[&str] = &["--stats", "--no-group", "--haswell", "--force", "--no-verify"];
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -225,29 +315,31 @@ fn trace_path(args: &[String]) -> &String {
 /// Open the trace as a [`TraceSource`], sniffing `.prv` vs `.mps`.
 fn load_source(args: &[String]) -> Box<dyn TraceSource> {
     let path = trace_path(args);
-    open_trace_source(std::path::Path::new(path)).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        exit(1);
-    })
+    open_trace_source(std::path::Path::new(path))
+        .unwrap_or_else(|e| die(&format!("cannot open {path}"), &e))
 }
 
 /// Fully materialize the trace (either format).
 fn load(args: &[String]) -> Trace {
     let path = trace_path(args);
-    load_source(args).materialize().unwrap_or_else(|e| {
-        eprintln!("cannot load {path}: {e}");
-        exit(1);
-    })
+    load_source(args)
+        .materialize()
+        .unwrap_or_else(|e| die(&format!("cannot load {path}"), &e))
 }
 
 fn print_scan_stats(stats: &ScanStats) {
     eprintln!(
-        "scan: {} matched / {} scanned events; chunks: {} decoded, {} cached, {} skipped",
+        "scan: {} matched / {} scanned events; chunks: {} decoded, {} cached, {} skipped{}",
         stats.events_matched,
         stats.events_scanned,
         stats.chunks_decoded,
         stats.chunks_cached,
-        stats.chunks_skipped
+        stats.chunks_skipped,
+        if stats.chunks_damaged > 0 {
+            format!(", {} DAMAGED", stats.chunks_damaged)
+        } else {
+            String::new()
+        }
     );
 }
 
@@ -259,14 +351,19 @@ fn print_scan_stats(stats: &ScanStats) {
 /// events; `--threads` sizes the writer's compression pool.
 fn cmd_convert(args: &[String]) {
     let out = arg_value(args, "-o").unwrap_or_else(|| usage());
-    let t = load(args);
     let out_path = std::path::Path::new(&out);
+    let force = args.iter().any(|a| a == "--force");
+    if let Err(e) = mempersp_store::check_clobber(out_path, force) {
+        eprintln!("convert: {e}");
+        exit(1);
+    }
+    let t = load(args);
     let threads = threads_arg(args);
     let shard_events: Option<u64> =
         arg_value(args, "--shard-events").map(|v| {
             v.parse().unwrap_or_else(|_| {
                 eprintln!("--shard-events expects an event count, got {v:?}");
-                exit(2);
+                exit(1);
             })
         });
     let report = |s: mempersp_store::StoreSummary| {
@@ -297,8 +394,7 @@ fn cmd_convert(args: &[String]) {
         save_trace(out_path, &t)
     };
     if let Err(e) = result {
-        eprintln!("cannot write {out}: {e}");
-        exit(1);
+        die(&format!("cannot write {out}"), &e);
     }
     eprintln!("converted {} -> {out}", trace_path(args));
 }
@@ -311,7 +407,7 @@ fn parse_query(args: &[String]) -> Query {
             .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
             .unwrap_or_else(|| {
                 eprintln!("--time expects <lo>:<hi> cycles, got {t:?}");
-                exit(2);
+                exit(1);
             });
         q = q.in_time(lo, hi);
     }
@@ -321,7 +417,7 @@ fn parse_query(args: &[String]) -> Query {
             .map(|s| {
                 s.trim().parse().unwrap_or_else(|_| {
                     eprintln!("--cores expects a comma-separated list, got {c:?}");
-                    exit(2);
+                    exit(1);
                 })
             })
             .collect();
@@ -333,7 +429,7 @@ fn parse_query(args: &[String]) -> Query {
             .map(|s| {
                 EventClass::parse(s.trim()).unwrap_or_else(|| {
                     eprintln!("unknown event kind {s:?} (expected e.g. ENTER, PEBS, ALLOC)");
-                    exit(2);
+                    exit(1);
                 })
             })
             .collect();
@@ -342,7 +438,7 @@ fn parse_query(args: &[String]) -> Query {
     if let Some(o) = arg_value(args, "--object") {
         let id: u32 = o.parse().unwrap_or_else(|_| {
             eprintln!("--object expects a numeric object id, got {o:?}");
-            exit(2);
+            exit(1);
         });
         q = q.touching_object(mempersp_extrae::ObjectId(id));
     }
@@ -359,9 +455,20 @@ fn cmd_query(args: &[String]) {
     let print: usize = arg_value(args, "--print").and_then(|v| v.parse().ok()).unwrap_or(0);
 
     let p = std::path::Path::new(&path);
-    let (events, stats) = match MpsSource::open(p) {
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let (events, stats) = match MpsSource::open_with_options(p, RecoveryMode::Strict, verify) {
         Ok(src) if threads > 1 => src.query_parallel(&q, threads),
         Ok(src) => src.query(&q),
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData && p.is_file() => {
+            // A store-shaped file that fails to open is corruption,
+            // not "try the text parser".
+            let head = std::fs::read(p).ok().filter(|b| b.len() >= 8).map(|b| b[..8].to_vec());
+            if head.as_deref().is_some_and(|h| h.starts_with(b"MPSTORE")) {
+                die(&format!("query failed on {path}"), &e);
+            }
+            let mut src = load_source(args);
+            src.filtered(&q).map(|(t, s)| (t.events, s))
+        }
         Err(_) => {
             // Not a store: scan the parsed text trace through the
             // same predicate path.
@@ -369,10 +476,7 @@ fn cmd_query(args: &[String]) {
             src.filtered(&q).map(|(t, s)| (t.events, s))
         }
     }
-    .unwrap_or_else(|e| {
-        eprintln!("query failed on {path}: {e}");
-        exit(1);
-    });
+    .unwrap_or_else(|e| die(&format!("query failed on {path}"), &e));
 
     let mut by_kind = [0u64; EventClass::ALL.len()];
     for e in &events {

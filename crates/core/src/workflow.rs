@@ -55,11 +55,15 @@ pub struct StreamOptions {
     /// Roll `.mps.d` shards every this many events. `Some` forces the
     /// sharded layout even without the `.mps.d` suffix.
     pub shard_events: Option<u64>,
+    /// Allow overwriting an existing output. Defaults to `true` for
+    /// library callers (benchmarks and tests legitimately rewrite a
+    /// path); the CLI passes `false` unless the user said `--force`.
+    pub force: bool,
 }
 
 impl Default for StreamOptions {
     fn default() -> Self {
-        StreamOptions { writer_threads: 1, max_inflight: None, shard_events: None }
+        StreamOptions { writer_threads: 1, max_inflight: None, shard_events: None, force: true }
     }
 }
 
@@ -67,6 +71,7 @@ impl Default for StreamOptions {
 /// `.mps.d` (or an explicit shard threshold) → sharded store, `.mps`
 /// → single-file store, anything else → Paraver text via [`PrvSink`].
 pub fn sink_for_path(out: &Path, opts: &StreamOptions) -> io::Result<Box<dyn EventSink>> {
+    mempersp_store::check_clobber(out, opts.force)?;
     let threads = opts.writer_threads.max(1);
     let is_shard_dir = out
         .file_name()

@@ -178,11 +178,12 @@ fn query_time_window_prunes_chunks_on_a_store() {
 }
 
 #[test]
-fn bad_usage_exits_2() {
+fn bad_usage_exits_1() {
+    // Exit 1 is usage/IO; exit 2 is reserved for store corruption.
     let out = bin().output().unwrap();
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(1));
     let out = bin().args(["run", "--workload", "bogus", "-o", "x"]).output().unwrap();
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(1));
 }
 
 #[test]

@@ -31,6 +31,10 @@ pub struct ScanStats {
     pub chunks_skipped: u64,
     /// Chunks served from the block cache without decoding.
     pub chunks_cached: u64,
+    /// Chunks skipped because they were damaged (checksum mismatch,
+    /// truncation, decode failure) — nonzero only for salvage-mode
+    /// scans over a corrupted store.
+    pub chunks_damaged: u64,
 }
 
 /// A trace opened for reading, independent of its container format.

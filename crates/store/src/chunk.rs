@@ -8,6 +8,7 @@
 //! never reject a chunk containing a matching event (soundness), and
 //! the tighter it is, the fewer chunks a selective query decodes.
 
+use crate::crc::crc32c;
 use crate::varint::{get_u64, put_u64, CodecError};
 use mempersp_extrae::events::{EventPayload, TraceEvent};
 use mempersp_extrae::query::{EventClass, KindMask, Query};
@@ -40,6 +41,102 @@ impl Compression {
 
 /// Sentinel for "this chunk has no object-resolved PEBS sample".
 pub const NO_OBJECTS: (u32, u32) = (u32::MAX, 0);
+
+/// Leading magic of a v3 per-chunk frame.
+pub const FRAME_MAGIC: &[u8; 4] = b"MPC3";
+/// Encoded size of a v3 chunk frame, preceding every chunk payload.
+pub const FRAME_LEN: usize = 28;
+
+/// The self-delimiting header written immediately before each chunk
+/// payload in format v3. It carries enough to (a) verify the payload
+/// against bit-rot (`payload_crc`), (b) verify *itself* against torn
+/// writes (`header_crc`), and (c) rebuild a usable [`ChunkMeta`] when
+/// the footer index never made it to disk — a forward scan hops
+/// frame-to-frame by `FRAME_LEN + stored_len`.
+///
+/// Layout (all little-endian):
+///
+/// ```text
+/// 0..4   magic "MPC3"
+/// 4..8   stored_len   (payload bytes on disk)
+/// 8..12  raw_len      (payload bytes after decompression)
+/// 12..16 events       (event count in the chunk)
+/// 16     compression code
+/// 17..20 reserved, zero
+/// 20..24 payload_crc  (CRC32C of the stored payload)
+/// 24..28 header_crc   (CRC32C of bytes 0..24)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkFrame {
+    pub stored_len: u32,
+    pub raw_len: u32,
+    pub events: u32,
+    pub compression: Compression,
+    pub payload_crc: u32,
+}
+
+impl ChunkFrame {
+    pub fn encode(&self) -> [u8; FRAME_LEN] {
+        let mut b = [0u8; FRAME_LEN];
+        b[0..4].copy_from_slice(FRAME_MAGIC);
+        b[4..8].copy_from_slice(&self.stored_len.to_le_bytes());
+        b[8..12].copy_from_slice(&self.raw_len.to_le_bytes());
+        b[12..16].copy_from_slice(&self.events.to_le_bytes());
+        b[16] = self.compression.code();
+        b[20..24].copy_from_slice(&self.payload_crc.to_le_bytes());
+        let header_crc = crc32c(&b[0..24]);
+        b[24..28].copy_from_slice(&header_crc.to_le_bytes());
+        b
+    }
+
+    /// Decode and validate a frame: magic, self-checksum, compression
+    /// code. A frame that passes is authentic with ~2^-32 false-accept
+    /// odds, which is what makes forward-scan resynchronization safe.
+    pub fn decode(buf: &[u8]) -> Result<ChunkFrame, CodecError> {
+        if buf.len() < FRAME_LEN {
+            return Err(CodecError { offset: 0, message: "truncated chunk frame".into() });
+        }
+        if &buf[0..4] != FRAME_MAGIC {
+            return Err(CodecError { offset: 0, message: "bad chunk frame magic".into() });
+        }
+        let want = u32::from_le_bytes(buf[24..28].try_into().unwrap());
+        let got = crc32c(&buf[0..24]);
+        if want != got {
+            return Err(CodecError {
+                offset: 24,
+                message: format!("chunk frame checksum mismatch (stored {want:#010x}, computed {got:#010x})"),
+            });
+        }
+        let compression = Compression::from_code(buf[16])?;
+        Ok(ChunkFrame {
+            stored_len: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            raw_len: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            events: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            compression,
+            payload_crc: u32::from_le_bytes(buf[20..24].try_into().unwrap()),
+        })
+    }
+
+    /// A conservative footer-index entry for a chunk recovered from
+    /// its frame alone: content summaries are unknown, so every field
+    /// is widened to "may contain anything" — [`ChunkMeta::may_match`]
+    /// then never false-negatives on salvaged chunks.
+    pub fn to_salvaged_meta(self, payload_offset: u64) -> ChunkMeta {
+        ChunkMeta {
+            offset: payload_offset,
+            stored_len: self.stored_len,
+            raw_len: self.raw_len,
+            compression: self.compression,
+            events: self.events,
+            first_cycles: 0,
+            last_cycles: u64::MAX,
+            core_mask: !0,
+            kind_mask: KindMask::ALL,
+            obj_lo: 0,
+            obj_hi: u32::MAX,
+        }
+    }
+}
 
 /// One chunk's entry in the footer index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -275,6 +372,43 @@ mod tests {
         let m = ChunkMeta::summarize(&[enter(1, 100)]);
         assert_eq!(m.core_mask, 1u64 << 63);
         assert!(m.may_match(&Query::all().on_cores(&[200])), "≥63 cores alias conservatively");
+    }
+
+    #[test]
+    fn frame_round_trips_and_rejects_damage() {
+        let f = ChunkFrame {
+            stored_len: 4096,
+            raw_len: 65536,
+            events: 1234,
+            compression: Compression::Lz,
+            payload_crc: 0xDEAD_BEEF,
+        };
+        let enc = f.encode();
+        assert_eq!(ChunkFrame::decode(&enc).unwrap(), f);
+        // Any single-byte flip anywhere in the frame is caught.
+        for i in 0..FRAME_LEN {
+            let mut bad = enc;
+            bad[i] ^= 0x40;
+            assert!(ChunkFrame::decode(&bad).is_err(), "flip at byte {i} undetected");
+        }
+        assert!(ChunkFrame::decode(&enc[..FRAME_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn salvaged_meta_is_conservative() {
+        let f = ChunkFrame {
+            stored_len: 10,
+            raw_len: 20,
+            events: 3,
+            compression: Compression::Raw,
+            payload_crc: 0,
+        };
+        let m = f.to_salvaged_meta(99);
+        assert_eq!((m.offset, m.stored_len, m.raw_len, m.events), (99, 10, 20, 3));
+        // A salvaged meta must never prune: it matches every query shape.
+        assert!(m.may_match(&Query::all().in_time(5, 6)));
+        assert!(m.may_match(&Query::all().on_cores(&[7])));
+        assert!(m.may_match(&Query::all().touching_object(ObjectId(42))));
     }
 
     #[test]

@@ -37,27 +37,55 @@
 //! `header_sections()` text of the originating trace, and the chunk
 //! codec is lossless, so `prv → mps → prv` reproduces the text trace
 //! byte-identically.
+//!
+//! # Durability (format v3)
+//!
+//! The current container, `MPSTORE3`, is crash-safe end to end:
+//!
+//! - [`crc`] — in-tree CRC32C (SSE4.2-accelerated) checksums every
+//!   chunk frame, chunk payload, the header blob and the footer
+//!   index, so truncation and bit-rot are detectable *per chunk*.
+//! - Every chunk is preceded by a self-delimiting
+//!   [`chunk::ChunkFrame`], so a file whose footer never hit the disk
+//!   is recoverable by forward-scanning the frames.
+//! - The writer finalizes atomically: `<path>.tmp` + fsync + rename +
+//!   parent-dir fsync. A crashed write leaves no file at the final
+//!   path, and a sharded trace's manifest commits last.
+//! - [`reader::RecoveryMode::Salvage`] reads degrade gracefully —
+//!   damaged chunks are skipped and reported, not fatal.
+//! - [`recover`] — `fsck` (full verification + damage map) and
+//!   `recover` (salvage into a clean v3 store) engines.
+//! - [`fault`] — deterministic IO fault injection ([`fault::FailingFile`])
+//!   driving the durability test suite.
+//!
+//! v1 and v2 files remain readable (without per-chunk checksums).
 
 pub mod cache;
 pub mod chunk;
 pub mod codec;
+pub mod crc;
+pub mod fault;
 pub mod lz;
 pub mod mmap;
 pub mod reader;
+pub mod recover;
 pub mod shard;
 pub mod source;
 pub mod varint;
 pub mod writer;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
-pub use chunk::{ChunkMeta, Compression};
-pub use reader::{StoreReader, PARALLEL_MIN_CHUNKS};
+pub use chunk::{ChunkFrame, ChunkMeta, Compression, FRAME_LEN};
+pub use crc::{crc32c, Crc32c};
+pub use fault::{FailingFile, FaultConfig, FaultPlan, StoreFile};
+pub use reader::{ChunkDamage, RecoveryMode, StoreReader, PARALLEL_MIN_CHUNKS};
+pub use recover::{check_clobber, fsck_store, recover_store, FsckReport, RecoverReport};
 pub use shard::{
     write_store_sharded, ShardedReader, ShardedWriter, DEFAULT_EVENTS_PER_SHARD, SHARD_DIR_SUFFIX,
 };
-pub use source::{open_trace_source, MpsSource};
+pub use source::{open_trace_source, open_trace_source_with, MpsSource};
 pub use varint::CodecError;
 pub use writer::{
-    write_store, write_store_chunked, write_store_v1, write_store_with, StoreSummary, StoreWriter,
-    DEFAULT_CHUNK_BYTES, DEFAULT_INFLIGHT_PER_THREAD,
+    write_store, write_store_chunked, write_store_v1, write_store_v2, write_store_with,
+    StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES, DEFAULT_INFLIGHT_PER_THREAD,
 };

@@ -22,22 +22,43 @@
 //! falls back to the sequential scan below
 //! [`PARALLEL_MIN_CHUNKS`] candidates, where thread spawn + merge
 //! costs more than the scan itself.
+//!
+//! # Integrity and recovery
+//!
+//! v3 stores checksum everything (see [`crate::writer`]). On the read
+//! side that shows up twice:
+//!
+//! - Each chunk's payload CRC32C is verified **lazily**, the first
+//!   time a query touches the chunk, and the verdict is memoized — a
+//!   warm scan re-pays nothing. [`StoreReader::set_verify`] disables
+//!   the check for benchmarking (`query --no-verify`).
+//! - [`RecoveryMode`] picks the failure policy.
+//!   [`RecoveryMode::Strict`] (the default) fails closed: corruption
+//!   is an error. [`RecoveryMode::Salvage`] degrades: damaged chunks
+//!   are skipped and reported ([`StoreReader::damage_report`], the
+//!   `chunks_damaged` count in [`ScanStats`]), and a v3 file whose
+//!   footer never made it to disk (a killed run) is recovered by
+//!   forward-scanning the self-delimiting chunk frames.
 
 use crate::cache::{CacheConfig, CacheStats, ShardedCache};
-use crate::chunk::{ChunkMeta, Compression};
+use crate::chunk::{ChunkFrame, ChunkMeta, Compression, FRAME_LEN};
 use crate::codec::{decode_events, scan_events_v2, DecodeScratch};
+use crate::crc::{crc32c, Crc32c};
 use crate::lz;
 use crate::mmap::Mapping;
 use crate::varint::get_u64;
-use crate::writer::{MAGIC, MAGIC_V1, TRAILER_MAGIC};
+use crate::writer::{
+    MAGIC, MAGIC_V1, MAGIC_V2, TRAILER_LEN, TRAILER_LEN_V2, TRAILER_MAGIC, TRAILER_MAGIC_V2,
+};
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::query::Query;
 use mempersp_extrae::trace_source::ScanStats;
-use mempersp_extrae::tracer::Trace;
+use mempersp_extrae::tracer::{Trace, TraceMeta};
+use std::collections::BTreeSet;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Below this many surviving chunks a parallel query runs
 /// sequentially: spawning + merging costs more than the scan.
@@ -54,6 +75,45 @@ fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// What the reader does when it meets corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Fail closed: any checksum mismatch, truncation or decode error
+    /// is an `InvalidData` error.
+    #[default]
+    Strict,
+    /// Degrade gracefully: skip damaged chunks (recording them in the
+    /// damage report and `ScanStats::chunks_damaged`), and recover a
+    /// footer-less v3 file by forward-scanning its chunk frames.
+    Salvage,
+}
+
+/// One diagnosed defect in a store file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkDamage {
+    /// Chunk index for chunk-scoped damage; `None` for file-level
+    /// damage (trailer, footer index, header blob).
+    pub chunk: Option<usize>,
+    /// File offset of the damaged region (the chunk payload, or 0 for
+    /// file-level damage discovered from the trailer).
+    pub offset: u64,
+    pub reason: String,
+}
+
+impl std::fmt::Display for ChunkDamage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.chunk {
+            Some(i) => write!(f, "chunk {i} @ offset {}: {}", self.offset, self.reason),
+            None => write!(f, "file: {}", self.reason),
+        }
+    }
+}
+
+/// Per-chunk verification memo states.
+const VERIFY_UNKNOWN: u8 = 0;
+const VERIFY_OK: u8 = 1;
+const VERIFY_BAD: u8 = 2;
+
 /// Which chunk codec the file uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -61,6 +121,9 @@ enum Format {
     V1,
     /// `MPSTORE2`: columnar tag/delta/core/payload sections.
     V2,
+    /// `MPSTORE3`: v2 columnar payloads behind checksummed chunk
+    /// frames, checksummed footer.
+    V3,
 }
 
 /// One chunk's raw (decompressed) payload — either borrowed from the
@@ -82,15 +145,56 @@ impl std::ops::Deref for ChunkData<'_> {
     }
 }
 
+/// Damage found so far: deduplicated per chunk so repeated queries
+/// over a bad chunk report it once.
+#[derive(Default)]
+struct DamageLog {
+    seen: BTreeSet<usize>,
+    list: Vec<ChunkDamage>,
+}
+
+impl DamageLog {
+    fn record_file(&mut self, offset: u64, reason: String) {
+        self.list.push(ChunkDamage { chunk: None, offset, reason });
+    }
+
+    fn record_chunk(&mut self, chunk: usize, offset: u64, reason: String) {
+        if self.seen.insert(chunk) {
+            // Error strings from the scan path already carry a
+            // "chunk N: " prefix; Display adds its own.
+            let prefix = format!("chunk {chunk}: ");
+            let reason = reason.strip_prefix(&prefix).map(str::to_string).unwrap_or(reason);
+            self.list.push(ChunkDamage { chunk: Some(chunk), offset, reason });
+        }
+    }
+}
+
+/// The parsed footer of a healthy store.
+struct FooterInfo {
+    metas: Vec<ChunkMeta>,
+    header_off: usize,
+    header_raw_len: usize,
+    header_stored_len: usize,
+}
+
 /// A store opened for querying. Cheap to open; thread-safe (`&self`
 /// queries may run concurrently).
 pub struct StoreReader {
     map: Mapping,
     format: Format,
+    mode: RecoveryMode,
+    /// Verify v3 payload checksums on first touch? (`--no-verify`
+    /// turns this off for benchmarking.)
+    verify: bool,
     metas: Vec<ChunkMeta>,
+    /// Memoized per-chunk CRC verdicts (v3): unknown / ok / bad.
+    verified: Vec<AtomicU8>,
     /// Parsed header: meta, region names, symbols, objects,
     /// resolution — with an empty event list.
     header: Trace,
+    /// Was the header blob readable (vs. synthesized by salvage)?
+    header_intact: bool,
+    damage: Mutex<DamageLog>,
     cache: ShardedCache,
     /// Lifetime count of chunk payloads actually decompressed (cache
     /// misses on LZ chunks); the acceptance counter for "decoded
@@ -98,138 +202,111 @@ pub struct StoreReader {
     decoded_total: AtomicU64,
 }
 
+/// The header a salvage open serves when the real one never reached
+/// the disk: structurally valid, visibly synthetic.
+fn salvage_header() -> Trace {
+    Trace {
+        meta: TraceMeta {
+            freq_mhz: 2500,
+            num_cores: 1,
+            aslr_slide: 0,
+            description: "salvaged store (header lost)".into(),
+        },
+        events: Vec::new(),
+        source: Default::default(),
+        objects: Default::default(),
+        region_names: Vec::new(),
+        resolution: Default::default(),
+    }
+}
+
 impl StoreReader {
-    /// Open with the default cache configuration.
+    /// Open with the default cache configuration, strict mode.
     pub fn open(path: &Path) -> io::Result<StoreReader> {
         Self::open_with(path, CacheConfig::default())
     }
 
-    /// Open with explicit cache sizing.
+    /// Open with explicit cache sizing, strict mode.
     pub fn open_with(path: &Path, cache: CacheConfig) -> io::Result<StoreReader> {
+        Self::open_with_mode(path, cache, RecoveryMode::Strict)
+    }
+
+    /// Open in salvage mode with the default cache configuration.
+    pub fn open_salvage(path: &Path) -> io::Result<StoreReader> {
+        Self::open_with_mode(path, CacheConfig::default(), RecoveryMode::Salvage)
+    }
+
+    /// Open with an explicit [`RecoveryMode`].
+    pub fn open_with_mode(
+        path: &Path,
+        cache: CacheConfig,
+        mode: RecoveryMode,
+    ) -> io::Result<StoreReader> {
         let file = std::fs::File::open(path).map_err(|e| {
             io::Error::new(e.kind(), format!("opening store {}: {e}", path.display()))
         })?;
         let len = file.metadata()?.len();
-        let min = (MAGIC.len() + 16) as u64;
-        if len < min {
+        if len < MAGIC.len() as u64 {
             return Err(bad_data(format!("{}: too short for a store file", path.display())));
         }
         let map = Mapping::of_file(&file, len)?;
         drop(file); // the mapping outlives the descriptor
         let bytes = map.bytes();
-        let len = bytes.len();
 
         let format = match &bytes[..8] {
-            m if m == MAGIC => Format::V2,
+            m if m == MAGIC => Format::V3,
+            m if m == MAGIC_V2 => Format::V2,
             m if m == MAGIC_V1 => Format::V1,
             _ => {
                 return Err(bad_data(format!("{}: not a trace store (bad magic)", path.display())))
             }
         };
 
-        // Trailer: index offset + trailing magic.
-        let trailer = &bytes[len - 16..];
-        if &trailer[8..] != TRAILER_MAGIC {
-            return Err(bad_data(format!(
-                "{}: truncated store (missing trailer — writer not finalized?)",
-                path.display()
-            )));
-        }
-        let index_off = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
-        if index_off < MAGIC.len() as u64 || index_off > (len - 16) as u64 {
-            return Err(bad_data(format!(
-                "{}: index offset {index_off} out of bounds (file is {len} bytes)",
-                path.display()
-            )));
-        }
-        let index_off = index_off as usize;
-
-        // Footer index, parsed straight from the mapping.
-        let index = &bytes[index_off..len - 16];
-        let mut pos = 0usize;
-        let count = get_u64(index, &mut pos)? as usize;
-        if count > len / 8 {
-            return Err(bad_data(format!("{}: implausible chunk count {count}", path.display())));
-        }
-        let mut metas = Vec::with_capacity(count);
-        for i in 0..count {
-            let m = ChunkMeta::decode(index, &mut pos).map_err(|e| {
-                bad_data(format!("{}: chunk {i} index entry: {e}", path.display()))
-            })?;
-            // Validate the payload location once, here, so every later
-            // access can slice the mapping without checks.
-            let end = m.offset.checked_add(m.stored_len as u64);
-            if m.offset < MAGIC.len() as u64 || end.is_none_or(|e| e > index_off as u64) {
+        let mut damage = DamageLog::default();
+        let mut verified: Vec<AtomicU8> = Vec::new();
+        let (metas, header, header_intact) = match parse_footer(bytes, format, path) {
+            Ok(footer) => {
+                let header = parse_header_blob(bytes, format, &footer, path);
+                match header {
+                    Ok(h) => (footer.metas, h, true),
+                    Err(e) if mode == RecoveryMode::Salvage => {
+                        damage.record_file(footer.header_off as u64, e.to_string());
+                        (footer.metas, salvage_header(), false)
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(e) if mode == RecoveryMode::Salvage && format == Format::V3 => {
+                // No trustworthy footer: rebuild the chunk list from
+                // the self-delimiting frames. Payloads are fully
+                // CRC-checked during the scan, so mark survivors
+                // verified up front.
+                damage.record_file(0, e.to_string());
+                let metas = forward_scan_v3(bytes, &mut damage);
+                verified = metas.iter().map(|_| AtomicU8::new(VERIFY_OK)).collect();
+                (metas, salvage_header(), false)
+            }
+            Err(e) if mode == RecoveryMode::Salvage => {
                 return Err(bad_data(format!(
-                    "{}: chunk {i} payload [{}, +{}) outside the data region",
-                    path.display(),
-                    m.offset,
-                    m.stored_len
+                    "{e} (pre-v3 store: no chunk frames to salvage from)"
                 )));
             }
-            if m.compression == Compression::Raw && m.raw_len != m.stored_len {
-                return Err(bad_data(format!(
-                    "{}: chunk {i} is raw but raw_len {} != stored_len {}",
-                    path.display(),
-                    m.raw_len,
-                    m.stored_len
-                )));
-            }
-            if m.raw_len > MAX_CHUNK_RAW {
-                return Err(bad_data(format!(
-                    "{}: chunk {i} claims a {}-byte raw payload (limit {MAX_CHUNK_RAW})",
-                    path.display(),
-                    m.raw_len
-                )));
-            }
-            if m.events as u64 > m.raw_len as u64 {
-                return Err(bad_data(format!(
-                    "{}: chunk {i} claims {} events in {} raw bytes",
-                    path.display(),
-                    m.events,
-                    m.raw_len
-                )));
-            }
-            metas.push(m);
-        }
-        let header_off = get_u64(index, &mut pos)? as usize;
-        let header_raw_len = get_u64(index, &mut pos)? as usize;
-        let header_stored_len = get_u64(index, &mut pos)? as usize;
-
-        // Header blob: compression byte + payload, inside the data
-        // region like any chunk.
-        let blob_end = header_off
-            .checked_add(1)
-            .and_then(|p| p.checked_add(header_stored_len))
-            .filter(|&e| header_off >= MAGIC.len() && e <= index_off);
-        let Some(blob_end) = blob_end else {
-            return Err(bad_data(format!(
-                "{}: header blob [{header_off}, +{header_stored_len}) outside the data region",
-                path.display()
-            )));
+            Err(e) => return Err(e),
         };
-        if header_raw_len > MAX_HEADER_RAW {
-            return Err(bad_data(format!(
-                "{}: header blob claims {header_raw_len} raw bytes (limit {MAX_HEADER_RAW})",
-                path.display()
-            )));
+        if verified.len() != metas.len() {
+            verified = metas.iter().map(|_| AtomicU8::new(VERIFY_UNKNOWN)).collect();
         }
-        let code = bytes[header_off];
-        let blob = &bytes[header_off + 1..blob_end];
-        let header_bytes = match Compression::from_code(code).map_err(io::Error::from)? {
-            Compression::Raw => blob.to_vec(),
-            Compression::Lz => lz::decompress(blob, header_raw_len)?,
-        };
-        let header_text = String::from_utf8(header_bytes)
-            .map_err(|_| bad_data(format!("{}: header blob is not UTF-8", path.display())))?;
-        let header = mempersp_extrae::trace_format::parse_trace(&header_text)
-            .map_err(|e| bad_data(format!("{}: bad header: {e}", path.display())))?;
 
         Ok(StoreReader {
             map,
             format,
+            mode,
+            verify: true,
             metas,
+            verified,
             header,
+            header_intact,
+            damage: Mutex::new(damage),
             cache: ShardedCache::new(cache),
             decoded_total: AtomicU64::new(0),
         })
@@ -250,6 +327,37 @@ impl StoreReader {
         &self.header
     }
 
+    /// False when the header was lost and this reader serves the
+    /// synthesized salvage header.
+    pub fn header_intact(&self) -> bool {
+        self.header_intact
+    }
+
+    /// Container format version: 1, 2, or 3.
+    pub fn format_version(&self) -> u32 {
+        match self.format {
+            Format::V1 => 1,
+            Format::V2 => 2,
+            Format::V3 => 3,
+        }
+    }
+
+    /// Does the file carry per-chunk checksums (v3)?
+    pub fn is_checksummed(&self) -> bool {
+        self.format == Format::V3
+    }
+
+    /// Toggle lazy payload-CRC verification (v3 only; on by default).
+    pub fn set_verify(&mut self, verify: bool) {
+        self.verify = verify;
+    }
+
+    /// Every defect diagnosed so far: at open (salvage) plus anything
+    /// queries have tripped over since.
+    pub fn damage_report(&self) -> Vec<ChunkDamage> {
+        self.damage.lock().expect("damage log poisoned").list.clone()
+    }
+
     /// Is the file served by a real `mmap` (vs. the buffered
     /// fallback)?
     pub fn is_mmap(&self) -> bool {
@@ -266,10 +374,58 @@ impl StoreReader {
         self.cache.stats()
     }
 
+    /// Verify chunk `idx`'s frame + payload CRC (v3), memoizing the
+    /// verdict so each chunk pays for its checksum at most once.
+    fn check_chunk(&self, idx: usize) -> io::Result<()> {
+        if self.format != Format::V3 || !self.verify {
+            return Ok(());
+        }
+        match self.verified[idx].load(Ordering::Acquire) {
+            VERIFY_OK => return Ok(()),
+            VERIFY_BAD => {
+                return Err(bad_data(format!("chunk {idx}: checksum mismatch (cached verdict)")))
+            }
+            _ => {}
+        }
+        let m = &self.metas[idx];
+        let res = self.check_chunk_uncached(idx, m);
+        let verdict = if res.is_ok() { VERIFY_OK } else { VERIFY_BAD };
+        self.verified[idx].store(verdict, Ordering::Release);
+        res
+    }
+
+    fn check_chunk_uncached(&self, idx: usize, m: &ChunkMeta) -> io::Result<()> {
+        let bytes = self.map.bytes();
+        let frame_off = m.offset as usize - FRAME_LEN;
+        let frame = ChunkFrame::decode(&bytes[frame_off..m.offset as usize])
+            .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+        if frame.stored_len != m.stored_len
+            || frame.raw_len != m.raw_len
+            || frame.events != m.events
+            || frame.compression != m.compression
+        {
+            return Err(bad_data(format!(
+                "chunk {idx}: frame disagrees with footer index \
+                 (frame {}x{} raw, index {}x{} raw)",
+                frame.events, frame.raw_len, m.events, m.raw_len
+            )));
+        }
+        let stored = &bytes[m.offset as usize..m.offset as usize + m.stored_len as usize];
+        let got = crc32c(stored);
+        if got != frame.payload_crc {
+            return Err(bad_data(format!(
+                "chunk {idx}: payload checksum mismatch (stored {:#010x}, computed {got:#010x})",
+                frame.payload_crc
+            )));
+        }
+        Ok(())
+    }
+
     /// Fetch one chunk's raw payload; `true` when this call paid for a
     /// decompression (LZ cache miss). Raw chunks are served zero-copy
     /// from the mapping and never enter the cache.
     fn chunk_data(&self, idx: usize) -> io::Result<(ChunkData<'_>, bool)> {
+        self.check_chunk(idx)?;
         let m = &self.metas[idx];
         let stored =
             &self.map.bytes()[m.offset as usize..m.offset as usize + m.stored_len as usize];
@@ -301,8 +457,34 @@ impl StoreReader {
         (keep, skipped)
     }
 
-    /// Scan one chunk into `out`, updating `stats`.
+    /// Scan one chunk into `out`, updating `stats`. In salvage mode a
+    /// damaged chunk contributes nothing (and is recorded) instead of
+    /// failing the query.
     fn scan_chunk(
+        &self,
+        idx: usize,
+        q: &Query,
+        scratch: &mut DecodeScratch,
+        out: &mut Vec<TraceEvent>,
+        stats: &mut ScanStats,
+    ) -> io::Result<()> {
+        let mark = out.len();
+        match self.scan_chunk_strict(idx, q, scratch, out, stats) {
+            Ok(()) => Ok(()),
+            Err(e) if self.mode == RecoveryMode::Salvage => {
+                out.truncate(mark); // drop any partially-decoded events
+                stats.chunks_damaged += 1;
+                self.damage
+                    .lock()
+                    .expect("damage log poisoned")
+                    .record_chunk(idx, self.metas[idx].offset, e.to_string());
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn scan_chunk_strict(
         &self,
         idx: usize,
         q: &Query,
@@ -318,7 +500,7 @@ impl StoreReader {
         }
         let m = &self.metas[idx];
         match self.format {
-            Format::V2 => {
+            Format::V2 | Format::V3 => {
                 let (scanned, matched) =
                     scan_events_v2(&data, m.events as usize, Some(q), scratch, out)
                         .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
@@ -403,6 +585,7 @@ impl StoreReader {
             stats.events_scanned += p.events_scanned;
             stats.chunks_decoded += p.chunks_decoded;
             stats.chunks_cached += p.chunks_cached;
+            stats.chunks_damaged += p.chunks_damaged;
         }
         Ok((out, stats))
     }
@@ -427,22 +610,39 @@ impl StoreReader {
                 stats.chunks_skipped += 1;
                 continue;
             }
-            let (data, decoded) = self.chunk_data(idx)?;
-            if decoded {
-                stats.chunks_decoded += 1;
-            } else {
-                stats.chunks_cached += 1;
-            }
             events.clear();
-            match self.format {
-                Format::V2 => {
-                    scan_events_v2(&data, m.events as usize, None, &mut scratch, &mut events)
-                        .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+            let decode = (|| -> io::Result<bool> {
+                let (data, decoded) = self.chunk_data(idx)?;
+                match self.format {
+                    Format::V2 | Format::V3 => {
+                        scan_events_v2(&data, m.events as usize, None, &mut scratch, &mut events)
+                            .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                    }
+                    Format::V1 => {
+                        events = decode_events(&data, m.events as usize)
+                            .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                    }
                 }
-                Format::V1 => {
-                    events = decode_events(&data, m.events as usize)
-                        .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                Ok(decoded)
+            })();
+            match decode {
+                Ok(decoded) => {
+                    if decoded {
+                        stats.chunks_decoded += 1;
+                    } else {
+                        stats.chunks_cached += 1;
+                    }
                 }
+                Err(e) if self.mode == RecoveryMode::Salvage => {
+                    events.clear();
+                    stats.chunks_damaged += 1;
+                    self.damage
+                        .lock()
+                        .expect("damage log poisoned")
+                        .record_chunk(idx, m.offset, e.to_string());
+                    continue;
+                }
+                Err(e) => return Err(e),
             }
             stats.events_scanned += events.len() as u64;
             for e in &events {
@@ -465,12 +665,282 @@ impl StoreReader {
         t.events = events;
         Ok(t)
     }
+
+    /// Verify the whole file — every chunk's frame + payload CRC (v3)
+    /// plus a full decode of every payload — and return one entry per
+    /// defect. This is the engine behind `mempersp fsck`; a clean file
+    /// returns open-time damage only (empty for a strict open).
+    pub fn verify_all(&self) -> Vec<ChunkDamage> {
+        let mut scratch = DecodeScratch::default();
+        let mut found = Vec::new();
+        for idx in 0..self.metas.len() {
+            if let Err(e) = self.verify_chunk_deep(idx, &mut scratch) {
+                let reason = e.to_string();
+                let prefix = format!("chunk {idx}: ");
+                let reason = reason.strip_prefix(&prefix).map(str::to_string).unwrap_or(reason);
+                found.push(ChunkDamage { chunk: Some(idx), offset: self.metas[idx].offset, reason });
+            }
+        }
+        // Fold in anything already known (salvage open notes).
+        let mut all = self.damage_report();
+        for d in found {
+            if !all.contains(&d) {
+                all.push(d);
+            }
+        }
+        all
+    }
+
+    fn verify_chunk_deep(&self, idx: usize, scratch: &mut DecodeScratch) -> io::Result<()> {
+        self.check_chunk(idx)?;
+        let (data, _) = self.chunk_data(idx)?;
+        let m = &self.metas[idx];
+        let mut sink = Vec::new();
+        match self.format {
+            Format::V2 | Format::V3 => {
+                scan_events_v2(&data, m.events as usize, None, scratch, &mut sink)
+                    .map_err(|e| bad_data(format!("{e}")))?;
+            }
+            Format::V1 => {
+                decode_events(&data, m.events as usize).map_err(|e| bad_data(format!("{e}")))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse the trailer + footer index, validating every chunk's bounds
+/// (and, for v3, the index checksum).
+fn parse_footer(bytes: &[u8], format: Format, path: &Path) -> io::Result<FooterInfo> {
+    let len = bytes.len();
+    let (trailer_len, trailer_magic): (usize, &[u8; 8]) = match format {
+        Format::V3 => (TRAILER_LEN, TRAILER_MAGIC),
+        _ => (TRAILER_LEN_V2, TRAILER_MAGIC_V2),
+    };
+    if len < MAGIC.len() + trailer_len {
+        return Err(bad_data(format!("{}: too short for a store file", path.display())));
+    }
+    let trailer = &bytes[len - trailer_len..];
+    if &trailer[trailer_len - 8..] != trailer_magic {
+        return Err(bad_data(format!(
+            "{}: truncated store (missing trailer — writer not finalized?)",
+            path.display()
+        )));
+    }
+    let index_off = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+    if index_off < MAGIC.len() as u64 || index_off > (len - trailer_len) as u64 {
+        return Err(bad_data(format!(
+            "{}: index offset {index_off} out of bounds (file is {len} bytes)",
+            path.display()
+        )));
+    }
+    let index_off = index_off as usize;
+
+    // Footer index, parsed straight from the mapping.
+    let index = &bytes[index_off..len - trailer_len];
+    if format == Format::V3 {
+        let want = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
+        let got = crc32c(index);
+        if want != got {
+            return Err(bad_data(format!(
+                "{}: footer index checksum mismatch (stored {want:#010x}, computed {got:#010x})",
+                path.display()
+            )));
+        }
+    }
+    let mut pos = 0usize;
+    let count = get_u64(index, &mut pos)? as usize;
+    if count > len / 8 {
+        return Err(bad_data(format!("{}: implausible chunk count {count}", path.display())));
+    }
+    // v3 payloads sit behind their 28-byte frame.
+    let min_payload_off = match format {
+        Format::V3 => (MAGIC.len() + FRAME_LEN) as u64,
+        _ => MAGIC.len() as u64,
+    };
+    let mut metas = Vec::with_capacity(count);
+    for i in 0..count {
+        let m = ChunkMeta::decode(index, &mut pos)
+            .map_err(|e| bad_data(format!("{}: chunk {i} index entry: {e}", path.display())))?;
+        // Validate the payload location once, here, so every later
+        // access can slice the mapping without checks.
+        let end = m.offset.checked_add(m.stored_len as u64);
+        if m.offset < min_payload_off || end.is_none_or(|e| e > index_off as u64) {
+            return Err(bad_data(format!(
+                "{}: chunk {i} payload [{}, +{}) outside the data region",
+                path.display(),
+                m.offset,
+                m.stored_len
+            )));
+        }
+        if m.compression == Compression::Raw && m.raw_len != m.stored_len {
+            return Err(bad_data(format!(
+                "{}: chunk {i} is raw but raw_len {} != stored_len {}",
+                path.display(),
+                m.raw_len,
+                m.stored_len
+            )));
+        }
+        if m.raw_len > MAX_CHUNK_RAW {
+            return Err(bad_data(format!(
+                "{}: chunk {i} claims a {}-byte raw payload (limit {MAX_CHUNK_RAW})",
+                path.display(),
+                m.raw_len
+            )));
+        }
+        if m.events as u64 > m.raw_len as u64 {
+            return Err(bad_data(format!(
+                "{}: chunk {i} claims {} events in {} raw bytes",
+                path.display(),
+                m.events,
+                m.raw_len
+            )));
+        }
+        metas.push(m);
+    }
+    let header_off = get_u64(index, &mut pos)? as usize;
+    let header_raw_len = get_u64(index, &mut pos)? as usize;
+    let header_stored_len = get_u64(index, &mut pos)? as usize;
+
+    // Header blob: compression byte + payload (+ CRC32C in v3),
+    // inside the data region like any chunk.
+    let trail = match format {
+        Format::V3 => 4usize, // trailing header CRC
+        _ => 0,
+    };
+    let blob_end = header_off
+        .checked_add(1)
+        .and_then(|p| p.checked_add(header_stored_len))
+        .and_then(|p| p.checked_add(trail))
+        .filter(|&e| header_off >= MAGIC.len() && e <= index_off)
+        .map(|e| e - trail);
+    if blob_end.is_none() {
+        return Err(bad_data(format!(
+            "{}: header blob [{header_off}, +{header_stored_len}) outside the data region",
+            path.display()
+        )));
+    }
+    if header_raw_len > MAX_HEADER_RAW {
+        return Err(bad_data(format!(
+            "{}: header blob claims {header_raw_len} raw bytes (limit {MAX_HEADER_RAW})",
+            path.display()
+        )));
+    }
+    Ok(FooterInfo { metas, header_off, header_raw_len, header_stored_len })
+}
+
+/// Decode (and for v3, checksum) the header blob into the header
+/// trace.
+fn parse_header_blob(
+    bytes: &[u8],
+    format: Format,
+    footer: &FooterInfo,
+    path: &Path,
+) -> io::Result<Trace> {
+    let header_off = footer.header_off;
+    let blob_end = header_off + 1 + footer.header_stored_len;
+    let code = bytes[header_off];
+    let blob = &bytes[header_off + 1..blob_end];
+    if format == Format::V3 {
+        let want = u32::from_le_bytes(bytes[blob_end..blob_end + 4].try_into().expect("4 bytes"));
+        let got = Crc32c::new().chain(&[code]).chain(blob).finish();
+        if want != got {
+            return Err(bad_data(format!(
+                "{}: header blob checksum mismatch (stored {want:#010x}, computed {got:#010x})",
+                path.display()
+            )));
+        }
+    }
+    let header_bytes = match Compression::from_code(code).map_err(io::Error::from)? {
+        Compression::Raw => blob.to_vec(),
+        Compression::Lz => lz::decompress(blob, footer.header_raw_len)?,
+    };
+    let header_text = String::from_utf8(header_bytes)
+        .map_err(|_| bad_data(format!("{}: header blob is not UTF-8", path.display())))?;
+    mempersp_extrae::trace_format::parse_trace(&header_text)
+        .map_err(|e| bad_data(format!("{}: bad header: {e}", path.display())))
+}
+
+/// Rebuild a chunk list from the self-delimiting v3 frames of a file
+/// whose footer is missing or untrustworthy (a killed run's `.tmp`).
+/// Every accepted chunk has a valid frame *and* a matching payload
+/// CRC; everything else lands in the damage log. Returned metas carry
+/// conservative (match-anything) content summaries.
+fn forward_scan_v3(bytes: &[u8], damage: &mut DamageLog) -> Vec<ChunkMeta> {
+    let len = bytes.len();
+    let mut metas = Vec::new();
+    let mut pos = MAGIC.len();
+    while pos + FRAME_LEN <= len {
+        match ChunkFrame::decode(&bytes[pos..pos + FRAME_LEN]) {
+            Ok(frame) => {
+                let payload_start = pos + FRAME_LEN;
+                let payload_end = payload_start + frame.stored_len as usize;
+                if payload_end > len {
+                    damage.record_chunk(
+                        metas.len(),
+                        payload_start as u64,
+                        format!(
+                            "chunk truncated at end of file ({} of {} payload bytes present)",
+                            len - payload_start,
+                            frame.stored_len
+                        ),
+                    );
+                    break;
+                }
+                let payload = &bytes[payload_start..payload_end];
+                let plausible = frame.raw_len <= MAX_CHUNK_RAW
+                    && frame.events as u64 <= frame.raw_len as u64
+                    && (frame.compression != Compression::Raw || frame.raw_len == frame.stored_len);
+                if !plausible {
+                    damage.record_chunk(
+                        metas.len(),
+                        payload_start as u64,
+                        "implausible chunk frame (bad raw/stored/event sizes)".into(),
+                    );
+                } else if crc32c(payload) != frame.payload_crc {
+                    damage.record_chunk(
+                        metas.len(),
+                        payload_start as u64,
+                        "payload checksum mismatch".into(),
+                    );
+                } else {
+                    metas.push(frame.to_salvaged_meta(payload_start as u64));
+                }
+                pos = payload_end;
+            }
+            Err(_) => {
+                // Lost framing: hunt for the next authentic frame. A
+                // frame magic match alone is not trusted — the next
+                // loop iteration re-validates via the frame CRC.
+                match find_magic(&bytes[pos + 1..], crate::chunk::FRAME_MAGIC) {
+                    Some(ahead) => {
+                        let next = pos + 1 + ahead;
+                        damage.record_chunk(
+                            metas.len(),
+                            pos as u64,
+                            format!("skipped {} unreadable bytes", next - pos),
+                        );
+                        pos = next;
+                    }
+                    // No further frame: the rest is the (unreachable
+                    // without an index) header/footer tail, or tail
+                    // damage. Either way the chunk walk is done.
+                    None => break,
+                }
+            }
+        }
+    }
+    metas
+}
+
+fn find_magic(haystack: &[u8], needle: &[u8; 4]) -> Option<usize> {
+    haystack.windows(4).position(|w| w == needle)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::writer::write_store_chunked;
+    use crate::writer::{write_store_chunked, TRAILER_LEN};
     use mempersp_extrae::query::EventClass;
     use mempersp_extrae::tracer::{Tracer, TracerConfig};
     use mempersp_pebs::CounterSnapshot;
@@ -503,11 +973,14 @@ mod tests {
         let t = trace();
         write_store_chunked(&path, &t, 4096).unwrap();
         let r = StoreReader::open(&path).unwrap();
+        assert_eq!(r.format_version(), 3);
+        assert!(r.is_checksummed());
         let back = r.materialize().unwrap();
         assert_eq!(back.events, t.events);
         assert_eq!(back.meta, t.meta);
         assert_eq!(back.region_names, t.region_names);
         assert_eq!(back.resolution, t.resolution);
+        assert!(r.damage_report().is_empty());
         std::fs::remove_file(&path).ok();
     }
 
@@ -679,9 +1152,9 @@ mod tests {
         assert!(!r.chunks().is_empty());
         drop(r);
         let mut bytes = std::fs::read(&path).unwrap();
-        let index_off =
-            u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap())
-                as usize;
+        let index_off = u64::from_le_bytes(
+            bytes[bytes.len() - TRAILER_LEN..bytes.len() - TRAILER_LEN + 8].try_into().unwrap(),
+        ) as usize;
         // The index starts with a varint count, then chunk 0's offset
         // varint. Overwrite that offset with a huge 5-byte varint —
         // same length or longer keeps later bytes parseable enough to
@@ -694,10 +1167,166 @@ mod tests {
             Ok(_) => panic!("corrupt index must not open"),
             Err(e) => e,
         };
+        // v3: the index CRC catches the flip before the bounds checks
+        // even run.
         assert!(
-            err.to_string().contains("chunk") || err.to_string().contains("codec"),
+            err.to_string().contains("chunk")
+                || err.to_string().contains("codec")
+                || err.to_string().contains("checksum"),
             "{err}"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn payload_flip_is_caught_lazily_and_memoized() {
+        let path = tmp("flip.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the first chunk's payload (well clear
+        // of the frame).
+        let victim = 8 + FRAME_LEN + 5;
+        bytes[victim] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict: the full scan errors when it reaches the bad chunk.
+        let r = StoreReader::open(&path).unwrap();
+        let err = r.query(&Query::all()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Salvage: the scan completes, skipping exactly one chunk.
+        let s = StoreReader::open_salvage(&path).unwrap();
+        let (events, stats) = s.query(&Query::all()).unwrap();
+        assert_eq!(stats.chunks_damaged, 1, "{stats:?}");
+        assert!(events.len() < t.events.len());
+        assert!(!events.is_empty(), "undamaged chunks must survive");
+        let report = s.damage_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].chunk, Some(0));
+        // Re-query: memoized verdict, damage not duplicated.
+        let (_, stats2) = s.query(&Query::all()).unwrap();
+        assert_eq!(stats2.chunks_damaged, 1);
+        assert_eq!(s.damage_report().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn no_verify_skips_crc_checking() {
+        let path = tmp("noverify.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt a payload byte in a way LZ decompression tolerates?
+        // Not guaranteed — so instead verify the *happy* path: with
+        // verification off a clean store still answers correctly.
+        let mut r = StoreReader::open(&path).unwrap();
+        r.set_verify(false);
+        let (events, _) = r.query(&Query::all()).unwrap();
+        assert_eq!(events, t.events);
+
+        // And the CRC path is genuinely off: flip a payload byte and
+        // confirm strict+no-verify does NOT flag a checksum error
+        // (decode may or may not succeed; it must not mention CRC).
+        let victim = 8 + FRAME_LEN + 5;
+        bytes[victim] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r2 = StoreReader::open(&path).unwrap();
+        r2.set_verify(false);
+        if let Err(e) = r2.query(&Query::all()) {
+            assert!(!e.to_string().contains("checksum mismatch"), "{e}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn footerless_file_salvages_via_forward_scan() {
+        let path = tmp("footerless.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let clean = StoreReader::open(&path).unwrap();
+        let chunks = clean.chunks().len();
+        assert!(chunks >= 4);
+        // Cut the file right after the last chunk payload — header,
+        // index and trailer gone, exactly what a killed run leaves.
+        let last = clean.chunks().last().unwrap();
+        let cut = (last.offset + last.stored_len as u64) as usize;
+        drop(clean);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        assert!(StoreReader::open(&path).is_err(), "strict must reject a footer-less file");
+        let s = StoreReader::open_salvage(&path).unwrap();
+        assert_eq!(s.chunks().len(), chunks, "every full chunk is recoverable");
+        assert!(!s.header_intact());
+        let (events, stats) = s.query(&Query::all()).unwrap();
+        assert_eq!(events, t.events, "salvage recovers every event of every full chunk");
+        assert_eq!(stats.chunks_damaged, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_salvages_to_a_chunk_prefix() {
+        let path = tmp("torn.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let clean = StoreReader::open(&path).unwrap();
+        let chunks: Vec<ChunkMeta> = clean.chunks().to_vec();
+        assert!(chunks.len() >= 4);
+        // Tear mid-way through the third chunk's payload.
+        let cut = chunks[2].offset as usize + chunks[2].stored_len as usize / 2;
+        let expect_events: u64 = chunks[..2].iter().map(|m| m.events as u64).sum();
+        drop(clean);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let s = StoreReader::open_salvage(&path).unwrap();
+        assert_eq!(s.chunks().len(), 2, "two complete chunks precede the tear");
+        let (events, _) = s.query(&Query::all()).unwrap();
+        assert_eq!(events.len() as u64, expect_events);
+        assert_eq!(events[..], t.events[..events.len()], "salvaged events are an exact prefix");
+        assert!(
+            s.damage_report().iter().any(|d| d.reason.contains("truncated")),
+            "{:?}",
+            s.damage_report()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn verify_all_names_the_flipped_chunk() {
+        let path = tmp("vfy.mps");
+        let t = trace();
+        write_store_chunked(&path, &t, 4096).unwrap();
+        let clean = StoreReader::open(&path).unwrap();
+        assert!(clean.verify_all().is_empty(), "pristine file must verify clean");
+        let chunks: Vec<ChunkMeta> = clean.chunks().to_vec();
+        drop(clean);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim_chunk = 3.min(chunks.len() - 1);
+        bytes[chunks[victim_chunk].offset as usize + 1] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = StoreReader::open(&path).unwrap();
+        let damage = r.verify_all();
+        assert_eq!(damage.len(), 1, "{damage:?}");
+        assert_eq!(damage[0].chunk, Some(victim_chunk));
+        assert!(damage[0].reason.contains("checksum"), "{}", damage[0].reason);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_and_v2_stores_cannot_forward_scan_but_error_cleanly() {
+        let path = tmp("v2_salvage.mps");
+        let t = trace();
+        crate::writer::write_store_v2(&path, &t, 4096).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 30]).unwrap();
+        let err = match StoreReader::open_salvage(&path) {
+            Ok(_) => panic!("a truncated pre-v3 store must not salvage"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("pre-v3"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 }

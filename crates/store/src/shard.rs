@@ -19,6 +19,18 @@
 //! shard order and per-shard event counts; [`ShardedReader::open`]
 //! re-validates the counts against each shard's own footer.
 //!
+//! # Crash consistency
+//!
+//! Each shard finalizes atomically (tmp + fsync + rename, see
+//! [`crate::writer`]), and the manifest is committed the same way,
+//! **last**. A crashed sharded write therefore leaves either no
+//! manifest (the directory is visibly unfinished — salvage can still
+//! dir-scan the shards) or a manifest whose every named shard is a
+//! fully finalized store. [`ShardedReader::open_with_mode`] in
+//! [`RecoveryMode::Salvage`] survives a missing or lying manifest, a
+//! corrupted shard, or a deleted shard: the broken pieces are skipped
+//! and reported, the healthy shards' events come back in shard order.
+//!
 //! [`ShardedWriter`] keeps at most one compression pipeline active:
 //! rolling a shard drains its in-flight chunks
 //! ([`StoreWriter`]'s `seal_events`) but leaves the footer unwritten —
@@ -31,9 +43,10 @@
 //! sharded query returns exactly what the unsharded one would.
 
 use crate::cache::CacheConfig;
-use crate::reader::StoreReader;
+use crate::reader::{RecoveryMode, StoreReader};
 use crate::writer::{
-    StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES, DEFAULT_INFLIGHT_PER_THREAD,
+    sync_parent_dir, tmp_path, StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES,
+    DEFAULT_INFLIGHT_PER_THREAD,
 };
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::query::Query;
@@ -183,7 +196,20 @@ impl ShardedWriter {
             total.stored_bytes += s.stored_bytes;
             manifest.push_str(&format!("{name} {}\n", s.events));
         }
-        std::fs::write(self.dir.join(MANIFEST_NAME), manifest)?;
+        // The manifest commits the whole directory, so it goes last
+        // and atomically: a crash before this point leaves finalized
+        // shards but no manifest (visibly unfinished); a crash during
+        // the rename leaves either the old state or the new one.
+        let manifest_path = self.dir.join(MANIFEST_NAME);
+        let tmp = tmp_path(&manifest_path);
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(manifest.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &manifest_path)?;
+        sync_parent_dir(&manifest_path)?;
         self.finished = true;
         Ok(total)
     }
@@ -218,6 +244,64 @@ pub fn write_store_sharded(
 /// block cache, decode counters) per shard.
 pub struct ShardedReader {
     shards: Vec<StoreReader>,
+    shard_names: Vec<String>,
+    /// Directory-level salvage notes (bad manifest, unopenable
+    /// shards, count mismatches).
+    notes: Vec<String>,
+}
+
+/// Parse the manifest into `(shard name, expected events)` pairs.
+fn parse_manifest(dir: &Path) -> io::Result<Vec<(String, u64)>> {
+    let manifest_path = dir.join(MANIFEST_NAME);
+    let manifest = std::fs::read_to_string(&manifest_path).map_err(|e| {
+        io::Error::new(e.kind(), format!("reading {}: {e}", manifest_path.display()))
+    })?;
+    let mut lines = manifest.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(bad_data(format!(
+            "{}: not a shard manifest (expected {MANIFEST_MAGIC})",
+            manifest_path.display()
+        )));
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, events) = line.split_once(' ').ok_or_else(|| {
+            bad_data(format!("{}: malformed manifest line {:?}", manifest_path.display(), line))
+        })?;
+        let events: u64 = events.parse().map_err(|_| {
+            bad_data(format!("{}: bad event count in {:?}", manifest_path.display(), line))
+        })?;
+        if name.contains('/') || name.contains("..") {
+            return Err(bad_data(format!(
+                "{}: shard name {name:?} escapes the directory",
+                manifest_path.display()
+            )));
+        }
+        entries.push((name.to_string(), events));
+    }
+    Ok(entries)
+}
+
+/// Salvage fallback when the manifest is missing or lying: every
+/// plausible shard file in the directory, in name order (which is
+/// creation order — shard names are zero-padded). Includes `.tmp`
+/// shards a killed run left behind; the v3 forward scan recovers
+/// their complete chunks.
+fn scan_shard_dir(dir: &Path) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("shard-") && (name.ends_with(".mps") || name.ends_with(".mps.tmp")) {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    Ok(names)
 }
 
 impl ShardedReader {
@@ -226,54 +310,94 @@ impl ShardedReader {
         Self::open_with(dir, CacheConfig::default())
     }
 
-    /// Open with explicit per-shard cache sizing.
+    /// Open with explicit per-shard cache sizing, strict mode.
     pub fn open_with(dir: &Path, cache: CacheConfig) -> io::Result<ShardedReader> {
-        let manifest_path = dir.join(MANIFEST_NAME);
-        let manifest = std::fs::read_to_string(&manifest_path).map_err(|e| {
-            io::Error::new(e.kind(), format!("reading {}: {e}", manifest_path.display()))
-        })?;
-        let mut lines = manifest.lines();
-        if lines.next() != Some(MANIFEST_MAGIC) {
-            return Err(bad_data(format!(
-                "{}: not a shard manifest (expected {MANIFEST_MAGIC})",
-                manifest_path.display()
-            )));
-        }
+        Self::open_with_mode(dir, cache, RecoveryMode::Strict)
+    }
+
+    /// Open with an explicit [`RecoveryMode`]. Strict fails on the
+    /// first inconsistency. Salvage opens what it can: a missing or
+    /// corrupt manifest falls back to a directory scan, unopenable
+    /// shards are skipped with a note, event-count mismatches are
+    /// noted but tolerated — one bad shard never takes down the rest.
+    pub fn open_with_mode(
+        dir: &Path,
+        cache: CacheConfig,
+        mode: RecoveryMode,
+    ) -> io::Result<ShardedReader> {
+        let mut notes = Vec::new();
+        let entries: Vec<(String, Option<u64>)> = match parse_manifest(dir) {
+            Ok(entries) => entries.into_iter().map(|(n, e)| (n, Some(e))).collect(),
+            Err(e) if mode == RecoveryMode::Salvage => {
+                notes.push(format!("manifest unusable ({e}); scanning directory for shards"));
+                scan_shard_dir(dir)?.into_iter().map(|n| (n, None)).collect()
+            }
+            Err(e) => return Err(e),
+        };
         let mut shards = Vec::new();
-        for (i, line) in lines.enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (name, events) = line.split_once(' ').ok_or_else(|| {
-                bad_data(format!("{}: malformed manifest line {:?}", manifest_path.display(), line))
-            })?;
-            let events: u64 = events.parse().map_err(|_| {
-                bad_data(format!("{}: bad event count in {:?}", manifest_path.display(), line))
-            })?;
-            if name.contains('/') || name.contains("..") {
-                return Err(bad_data(format!(
-                    "{}: shard name {name:?} escapes the directory",
-                    manifest_path.display()
-                )));
-            }
-            let reader = StoreReader::open_with(&dir.join(name), cache)?;
-            if reader.num_events() != events {
-                return Err(bad_data(format!(
-                    "{}: shard {i} ({name}) has {} events, manifest says {events}",
-                    manifest_path.display(),
-                    reader.num_events()
-                )));
+        let mut shard_names = Vec::new();
+        for (i, (name, expected)) in entries.iter().enumerate() {
+            let reader = match StoreReader::open_with_mode(&dir.join(name), cache, mode) {
+                Ok(r) => r,
+                Err(e) if mode == RecoveryMode::Salvage => {
+                    notes.push(format!("shard {i} ({name}) unreadable, skipped: {e}"));
+                    continue;
+                }
+                Err(e) => {
+                    return Err(io::Error::new(e.kind(), format!("shard {i} ({name}): {e}")))
+                }
+            };
+            if let Some(events) = *expected {
+                if reader.num_events() != events {
+                    let msg = format!(
+                        "shard {i} ({name}) has {} events, manifest says {events}",
+                        reader.num_events()
+                    );
+                    if mode == RecoveryMode::Salvage {
+                        notes.push(msg);
+                    } else {
+                        return Err(bad_data(format!("{}: {msg}", dir.display())));
+                    }
+                }
             }
             shards.push(reader);
+            shard_names.push(name.clone());
         }
         if shards.is_empty() {
-            return Err(bad_data(format!(
-                "{}: manifest lists no shards",
-                manifest_path.display()
-            )));
+            return Err(bad_data(match mode {
+                RecoveryMode::Salvage => {
+                    format!("{}: no readable shards ({})", dir.display(), notes.join("; "))
+                }
+                RecoveryMode::Strict => format!("{}: manifest lists no shards", dir.display()),
+            }));
         }
-        Ok(ShardedReader { shards })
+        Ok(ShardedReader { shards, shard_names, notes })
+    }
+
+    /// Every defect diagnosed so far: directory-level salvage notes
+    /// plus each shard's own damage report, prefixed with the shard
+    /// name.
+    pub fn damage_report(&self) -> Vec<String> {
+        let mut all = self.notes.clone();
+        for (name, s) in self.shard_names.iter().zip(&self.shards) {
+            for d in s.damage_report() {
+                all.push(format!("{name}: {d}"));
+            }
+        }
+        all
+    }
+
+    /// The per-shard readers, in shard order (for fsck-style deep
+    /// verification).
+    pub fn shard_readers(&self) -> impl Iterator<Item = (&str, &StoreReader)> {
+        self.shard_names.iter().map(String::as_str).zip(self.shards.iter())
+    }
+
+    /// Toggle lazy payload-CRC verification on every shard.
+    pub fn set_verify(&mut self, verify: bool) {
+        for s in &mut self.shards {
+            s.set_verify(verify);
+        }
     }
 
     pub fn num_shards(&self) -> usize {
@@ -308,6 +432,7 @@ impl ShardedReader {
             stats.chunks_skipped += p.chunks_skipped;
             stats.chunks_decoded += p.chunks_decoded;
             stats.chunks_cached += p.chunks_cached;
+            stats.chunks_damaged += p.chunks_damaged;
             stats.events_scanned += p.events_scanned;
             stats.events_matched += p.events_matched;
         }
@@ -371,6 +496,7 @@ impl ShardedReader {
             stats.chunks_skipped += p.chunks_skipped;
             stats.chunks_decoded += p.chunks_decoded;
             stats.chunks_cached += p.chunks_cached;
+            stats.chunks_damaged += p.chunks_damaged;
             stats.events_scanned += p.events_scanned;
             stats.events_matched += p.events_matched;
         }
@@ -497,6 +623,41 @@ mod tests {
             Err(e) => e,
         };
         assert!(err.to_string().contains("manifest says"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_leaves_no_temp_files() {
+        let dir = tmp("atomic.mps.d");
+        std::fs::remove_dir_all(&dir).ok();
+        let t = trace(1000);
+        write_store_sharded(&dir, &t, 4096, 1, 1500).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_str().unwrap().to_string();
+            assert!(!name.ends_with(".tmp"), "leftover temp file {name}");
+        }
+        assert!(dir.join(MANIFEST_NAME).is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_sharded_write_leaves_no_manifest_and_salvages() {
+        // Simulate the crash window: shards exist (finalized), the
+        // manifest never landed. Strict refuses; salvage dir-scans.
+        let dir = tmp("crashed.mps.d");
+        std::fs::remove_dir_all(&dir).ok();
+        let t = trace(1000);
+        write_store_sharded(&dir, &t, 4096, 1, 1500).unwrap();
+        std::fs::remove_file(dir.join(MANIFEST_NAME)).unwrap();
+        assert!(ShardedReader::open(&dir).is_err());
+        let r =
+            ShardedReader::open_with_mode(&dir, CacheConfig::default(), RecoveryMode::Salvage)
+                .unwrap();
+        assert_eq!(r.num_shards(), 2);
+        let (events, _) = r.query(&Query::all()).unwrap();
+        assert_eq!(events, t.events);
+        assert!(r.damage_report().iter().any(|n| n.contains("manifest")), "{:?}", r.damage_report());
         std::fs::remove_dir_all(&dir).ok();
     }
 

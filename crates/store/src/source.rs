@@ -3,7 +3,8 @@
 //! object stats, the CLI) accept any container without caring which
 //! one they got.
 
-use crate::reader::StoreReader;
+use crate::cache::CacheConfig;
+use crate::reader::{RecoveryMode, StoreReader};
 use crate::shard::{is_shard_dir, ShardedReader};
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::query::Query;
@@ -28,14 +29,39 @@ enum Inner {
 }
 
 impl MpsSource {
-    /// Open a single `.mps` file or a `trace.mps.d/` shard directory.
+    /// Open a single `.mps` file or a `trace.mps.d/` shard directory
+    /// (strict mode, checksum verification on).
     pub fn open(path: &Path) -> io::Result<MpsSource> {
+        Self::open_with_options(path, RecoveryMode::Strict, true)
+    }
+
+    /// [`MpsSource::open`] with an explicit failure policy and
+    /// checksum-verification toggle (`query --no-verify` benchmarks
+    /// pass `verify = false`).
+    pub fn open_with_options(
+        path: &Path,
+        mode: RecoveryMode,
+        verify: bool,
+    ) -> io::Result<MpsSource> {
         let inner = if path.is_dir() {
-            Inner::Sharded(ShardedReader::open(path)?)
+            let mut s = ShardedReader::open_with_mode(path, CacheConfig::default(), mode)?;
+            s.set_verify(verify);
+            Inner::Sharded(s)
         } else {
-            Inner::Single(Box::new(StoreReader::open(path)?))
+            let mut r = StoreReader::open_with_mode(path, CacheConfig::default(), mode)?;
+            r.set_verify(verify);
+            Inner::Single(Box::new(r))
         };
         Ok(MpsSource { inner })
+    }
+
+    /// Every defect diagnosed so far (salvage notes plus per-chunk
+    /// damage), as printable lines.
+    pub fn damage_report(&self) -> Vec<String> {
+        match &self.inner {
+            Inner::Single(r) => r.damage_report().iter().map(|d| d.to_string()).collect(),
+            Inner::Sharded(s) => s.damage_report(),
+        }
     }
 
     /// The single-file reader, when this source is not sharded (chunk
@@ -135,12 +161,22 @@ impl TraceSource for MpsSource {
 }
 
 /// Open a trace by path. A directory with a shard manifest is a
-/// sharded store; a file leading with `MPSTORE2` (or the v1
-/// `MPSTORE1`) is a binary store; anything else is parsed as a text
-/// `.prv` trace.
+/// sharded store; a file leading with a store magic (`MPSTORE3`,
+/// `MPSTORE2` or `MPSTORE1`) is a binary store; anything else is
+/// parsed as a text `.prv` trace.
 pub fn open_trace_source(path: &Path) -> io::Result<Box<dyn TraceSource>> {
-    if is_shard_dir(path) {
-        return Ok(Box::new(MpsSource::open(path)?));
+    open_trace_source_with(path, RecoveryMode::Strict, true)
+}
+
+/// [`open_trace_source`] with an explicit failure policy and
+/// checksum-verification toggle (both only meaningful for `.mps`).
+pub fn open_trace_source_with(
+    path: &Path,
+    mode: RecoveryMode,
+    verify: bool,
+) -> io::Result<Box<dyn TraceSource>> {
+    if is_shard_dir(path) || (path.is_dir() && mode == RecoveryMode::Salvage) {
+        return Ok(Box::new(MpsSource::open_with_options(path, mode, verify)?));
     }
     let mut file = std::fs::File::open(path).map_err(|e| {
         io::Error::new(e.kind(), format!("opening trace {}: {e}", path.display()))
@@ -148,8 +184,12 @@ pub fn open_trace_source(path: &Path) -> io::Result<Box<dyn TraceSource>> {
     let mut head = [0u8; 8];
     let n = file.read(&mut head)?;
     drop(file);
-    if n == 8 && (&head == crate::writer::MAGIC || &head == crate::writer::MAGIC_V1) {
-        return Ok(Box::new(MpsSource::open(path)?));
+    if n == 8
+        && (&head == crate::writer::MAGIC
+            || &head == crate::writer::MAGIC_V2
+            || &head == crate::writer::MAGIC_V1)
+    {
+        return Ok(Box::new(MpsSource::open_with_options(path, mode, verify)?));
     }
     Ok(Box::new(MaterializedSource::open(path)?))
 }

@@ -1,21 +1,25 @@
 //! The append-only store writer.
 //!
-//! File layout (`.mps`, format v2):
+//! File layout (`.mps`, format v3):
 //!
 //! ```text
 //! +-----------------+ offset 0
-//! | magic MPSTORE2  | 8 bytes (MPSTORE1 files remain readable)
+//! | magic MPSTORE3  | 8 bytes (MPSTORE1/MPSTORE2 remain readable)
 //! +-----------------+
-//! | chunk payload 0 | v2 columnar events, raw or LZ   (~64 KiB each)
+//! | frame 0         | 28-byte self-delimiting chunk header:
+//! | chunk payload 0 |   length + CRC32C of payload + CRC of itself
+//! | frame 1         | v2 columnar events, raw or LZ   (~64 KiB each)
 //! | chunk payload 1 |
 //! | ...             |
 //! +-----------------+
 //! | header blob     | compression code + header_sections() text
+//! |                 |   + CRC32C of both
 //! +-----------------+ <- index_off
 //! | footer index    | chunk count, ChunkMeta per chunk,
 //! |                 | header blob location
 //! +-----------------+
-//! | trailer         | index_off:u64le + magic MPSEND01  (16 bytes)
+//! | trailer         | index_off:u64le + index CRC32C + magic
+//! |                 | MPSEND03  (20 bytes)
 //! +-----------------+
 //! ```
 //!
@@ -26,6 +30,19 @@
 //! which are only complete at the end of the run — goes *behind* the
 //! chunks, mirroring how Extrae's merger appends global information
 //! post-mortem.
+//!
+//! # Crash safety
+//!
+//! Every run of this writer is atomic and durable: bytes go to
+//! `<path>.tmp`, and [`StoreWriter::finish`] flushes, fsyncs the file,
+//! renames it onto the final path and fsyncs the parent directory — a
+//! reader can never observe a half-written store at the final path,
+//! and a crash leaves at most an orphaned `.tmp` (removed by the
+//! writer's `Drop` on in-process error paths, salvageable by
+//! `mempersp recover` after a hard kill). The per-chunk frames and the
+//! checksummed footer are what make that salvage possible: a
+//! footer-less `.tmp` is recovered by forward-scanning frames, each
+//! self-validating via its own CRC32C. See `DESIGN.md` §12.
 //!
 //! # Pipelined compression
 //!
@@ -38,32 +55,64 @@
 //! channel bound: at most a few chunks are ever in flight, keeping the
 //! writer's memory O(threads × chunk).
 
-use crate::chunk::{ChunkMeta, Compression};
+use crate::chunk::{ChunkFrame, ChunkMeta, Compression, FRAME_LEN};
 use crate::codec::ChunkBuilder;
+use crate::crc::{crc32c, Crc32c};
+use crate::fault::StoreFile;
 use crate::lz;
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::stream_writer::EventSink;
 use mempersp_extrae::tracer::Trace;
 use std::collections::BTreeMap;
 use std::io::{self, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
-/// Leading file magic of the columnar v2 format (what this writer
+/// Leading file magic of the checksummed v3 format (what this writer
 /// emits).
-pub const MAGIC: &[u8; 8] = b"MPSTORE2";
+pub const MAGIC: &[u8; 8] = b"MPSTORE3";
+/// Leading magic of the columnar v2 format; the reader still accepts
+/// it.
+pub const MAGIC_V2: &[u8; 8] = b"MPSTORE2";
 /// Leading magic of the original row-oriented format; the reader
 /// still accepts it.
 pub const MAGIC_V1: &[u8; 8] = b"MPSTORE1";
-/// Trailing file magic (after the index offset).
-pub const TRAILER_MAGIC: &[u8; 8] = b"MPSEND01";
+/// Trailing file magic of v3 (after the index offset + index CRC).
+pub const TRAILER_MAGIC: &[u8; 8] = b"MPSEND03";
+/// Trailing file magic shared by v1 and v2 (after the index offset).
+pub const TRAILER_MAGIC_V2: &[u8; 8] = b"MPSEND01";
+/// v3 trailer size: index_off u64le + index CRC32C + magic.
+pub const TRAILER_LEN: usize = 20;
+/// v1/v2 trailer size: index_off u64le + magic.
+pub const TRAILER_LEN_V2: usize = 16;
 /// Default target for one chunk's *raw* encoded payload.
 pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
 /// Default in-flight chunk budget per compressor thread (sealed but
 /// not yet committed). The product `threads × this` bounds the
 /// pipelined writer's buffered chunks, and with it peak memory.
 pub const DEFAULT_INFLIGHT_PER_THREAD: usize = 2;
+
+/// The temp-file twin of a final store path (`trace.mps` →
+/// `trace.mps.tmp`): where a writer streams until its atomic rename.
+pub fn tmp_path(dest: &Path) -> PathBuf {
+    let mut name = dest.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    dest.with_file_name(name)
+}
+
+/// fsync the directory holding `entry`, making a just-renamed name
+/// durable. (An fsync of the file alone persists its *contents*; the
+/// directory entry pointing at them needs its own.)
+pub fn sync_parent_dir(entry: &Path) -> io::Result<()> {
+    let parent = match entry.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    std::fs::File::open(&parent)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io::Error::new(e.kind(), format!("fsync dir {}: {e}", parent.display())))
+}
 
 /// What a finished store contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,28 +137,57 @@ struct Done {
     seq: u64,
     payload: Vec<u8>,
     compression: Compression,
+    payload_crc: u32,
     meta: ChunkMeta,
 }
 
 /// What the committer hands back once every chunk is on disk.
 struct CommitDone {
-    out: io::BufWriter<std::fs::File>,
+    out: io::BufWriter<Box<dyn StoreFile>>,
     pos: u64,
     metas: Vec<ChunkMeta>,
     raw_bytes: u64,
 }
 
-/// Compress one sealed chunk, choosing the smaller representation —
-/// the single pure function both the inline path and the worker pool
-/// run, so output bytes never depend on the thread count.
-fn compress_chunk(raw: Vec<u8>, mut meta: ChunkMeta) -> (Vec<u8>, Compression, ChunkMeta) {
+/// Compress one sealed chunk, choosing the smaller representation,
+/// and checksum the stored bytes — the single pure function both the
+/// inline path and the worker pool run, so output bytes never depend
+/// on the thread count.
+fn compress_chunk(raw: Vec<u8>, mut meta: ChunkMeta) -> (Vec<u8>, Compression, u32, ChunkMeta) {
     meta.raw_len = raw.len() as u32;
     let compressed = lz::compress(&raw);
-    if compressed.len() < raw.len() {
-        (compressed, Compression::Lz, meta)
+    let (payload, compression) = if compressed.len() < raw.len() {
+        (compressed, Compression::Lz)
     } else {
-        (raw, Compression::Raw, meta)
-    }
+        (raw, Compression::Raw)
+    };
+    let payload_crc = crc32c(&payload);
+    (payload, compression, payload_crc, meta)
+}
+
+/// Write one framed chunk at `pos`, returning the finalized meta and
+/// the new position. Shared by the inline sink and the committer.
+fn write_framed_chunk(
+    out: &mut impl io::Write,
+    pos: u64,
+    payload: &[u8],
+    compression: Compression,
+    payload_crc: u32,
+    mut meta: ChunkMeta,
+) -> io::Result<(ChunkMeta, u64)> {
+    let frame = ChunkFrame {
+        stored_len: payload.len() as u32,
+        raw_len: meta.raw_len,
+        events: meta.events,
+        compression,
+        payload_crc,
+    };
+    out.write_all(&frame.encode())?;
+    out.write_all(payload)?;
+    meta.offset = pos + FRAME_LEN as u64;
+    meta.stored_len = payload.len() as u32;
+    meta.compression = compression;
+    Ok((meta, pos + (FRAME_LEN + payload.len()) as u64))
 }
 
 struct Pipeline {
@@ -120,7 +198,12 @@ struct Pipeline {
 }
 
 impl Pipeline {
-    fn spawn(out: io::BufWriter<std::fs::File>, pos: u64, threads: usize, max_inflight: usize) -> Pipeline {
+    fn spawn(
+        out: io::BufWriter<Box<dyn StoreFile>>,
+        pos: u64,
+        threads: usize,
+        max_inflight: usize,
+    ) -> Pipeline {
         // Two bounded hand-off points; together they cap how many
         // sealed chunks can exist between the ingest thread and the
         // committed file, which is what bounds the writer's RSS when a
@@ -143,8 +226,11 @@ impl Pipeline {
                         Ok(j) => j,
                         Err(_) => return,
                     };
-                    let (payload, compression, meta) = compress_chunk(job.raw, job.meta);
-                    if tx.send(Done { seq: job.seq, payload, compression, meta }).is_err() {
+                    let (payload, compression, payload_crc, meta) = compress_chunk(job.raw, job.meta);
+                    if tx
+                        .send(Done { seq: job.seq, payload, compression, payload_crc, meta })
+                        .is_err()
+                    {
                         return; // committer failed; drain and exit
                     }
                 })
@@ -165,12 +251,9 @@ impl Pipeline {
                 // contiguous prefix, hold later chunks until the gap
                 // fills (the channel bound caps how many can wait).
                 while let Some(d) = pending.remove(&next) {
-                    let mut meta = d.meta;
-                    meta.offset = pos;
-                    meta.stored_len = d.payload.len() as u32;
-                    meta.compression = d.compression;
-                    out.write_all(&d.payload)?;
-                    pos += d.payload.len() as u64;
+                    let (meta, new_pos) =
+                        write_framed_chunk(&mut out, pos, &d.payload, d.compression, d.payload_crc, d.meta)?;
+                    pos = new_pos;
                     raw_bytes += meta.raw_len as u64;
                     metas.push(meta);
                     next += 1;
@@ -198,16 +281,24 @@ impl Pipeline {
 
 enum Sink {
     /// Chunks compressed and written on the caller thread.
-    Inline { out: io::BufWriter<std::fs::File>, pos: u64 },
+    Inline { out: io::BufWriter<Box<dyn StoreFile>>, pos: u64 },
     /// Chunks compressed on the worker pool, committed in order.
     Pipelined(Pipeline),
-    /// Transitional state while swapping sinks.
+    /// Transitional state while swapping sinks (and post-drop).
     Draining,
+}
+
+/// Where the finished bytes land: the temp file they stream into and
+/// the final path `finish` renames onto.
+struct Target {
+    tmp: PathBuf,
+    dest: PathBuf,
 }
 
 /// Streaming writer of the chunked binary container.
 pub struct StoreWriter {
     sink: Sink,
+    target: Option<Target>,
     chunk_target: usize,
     /// Columnar encoder of the open chunk.
     builder: ChunkBuilder,
@@ -253,11 +344,32 @@ impl StoreWriter {
         threads: usize,
         max_inflight: usize,
     ) -> io::Result<StoreWriter> {
-        let file = std::fs::File::create(path).map_err(|e| {
-            io::Error::new(e.kind(), format!("creating store {}: {e}", path.display()))
+        let tmp = tmp_path(path);
+        let file = std::fs::File::create(&tmp).map_err(|e| {
+            io::Error::new(e.kind(), format!("creating store {}: {e}", tmp.display()))
         })?;
+        Self::with_backend(Box::new(file), tmp, path.to_path_buf(), chunk_target, threads, max_inflight)
+    }
+
+    /// Build a writer over an explicit backing file — the seam the
+    /// fault-injection tests use to slide a
+    /// [`crate::fault::FailingFile`] under the production write path.
+    /// `tmp` must be where `file` actually lives; `finish` renames it
+    /// onto `dest`.
+    pub fn with_backend(
+        file: Box<dyn StoreFile>,
+        tmp: PathBuf,
+        dest: PathBuf,
+        chunk_target: usize,
+        threads: usize,
+        max_inflight: usize,
+    ) -> io::Result<StoreWriter> {
         let mut out = io::BufWriter::new(file);
-        out.write_all(MAGIC)?;
+        if let Err(e) = out.write_all(MAGIC).and_then(|()| out.flush()) {
+            drop(out);
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         let pos = MAGIC.len() as u64;
         let sink = if threads > 1 {
             Sink::Pipelined(Pipeline::spawn(out, pos, threads, max_inflight))
@@ -266,6 +378,7 @@ impl StoreWriter {
         };
         Ok(StoreWriter {
             sink,
+            target: Some(Target { tmp, dest }),
             chunk_target: chunk_target.max(1024),
             builder: ChunkBuilder::new(),
             open_meta: ChunkMeta::summarize(&[]),
@@ -308,12 +421,10 @@ impl StoreWriter {
         self.raw_bytes += raw.len() as u64;
         match &mut self.sink {
             Sink::Inline { out, pos } => {
-                let (payload, compression, mut meta) = compress_chunk(raw, meta);
-                meta.offset = *pos;
-                meta.stored_len = payload.len() as u32;
-                meta.compression = compression;
-                out.write_all(&payload)?;
-                *pos += payload.len() as u64;
+                let (payload, compression, payload_crc, meta) = compress_chunk(raw, meta);
+                let (meta, new_pos) =
+                    write_framed_chunk(out, *pos, &payload, compression, payload_crc, meta)?;
+                *pos = new_pos;
                 self.metas.push(meta);
                 Ok(())
             }
@@ -360,9 +471,12 @@ impl StoreWriter {
     }
 
     /// Seal the open chunk, append the header blob + footer index +
-    /// trailer, and flush. `trace_for_header` contributes only its
-    /// header sections; its event list is ignored (the streamed chunks
-    /// are the record of truth).
+    /// trailer, fsync, and atomically rename the temp file onto the
+    /// final path (then fsync the directory). Only a `finish` that
+    /// returns `Ok` puts a file at the final path; every earlier
+    /// failure leaves the destination untouched. `trace_for_header`
+    /// contributes only its header sections; its event list is ignored
+    /// (the streamed chunks are the record of truth).
     pub fn finish(&mut self, trace_for_header: &Trace) -> io::Result<StoreSummary> {
         assert!(!self.finished, "finish called twice");
         self.seal_events()?;
@@ -370,7 +484,8 @@ impl StoreWriter {
             unreachable!("seal_events leaves an inline sink")
         };
 
-        // Header blob: the text header behind a compression byte.
+        // Header blob: the text header behind a compression byte,
+        // closed by a CRC32C of both.
         let header_text = mempersp_extrae::trace_format::header_sections(trace_for_header);
         let header_raw = header_text.as_bytes();
         let header_lz = lz::compress(header_raw);
@@ -380,11 +495,13 @@ impl StoreWriter {
         } else {
             (header_raw, Compression::Raw.code())
         };
+        let header_crc = Crc32c::new().chain(&[code]).chain(blob).finish();
         out.write_all(&[code])?;
         out.write_all(blob)?;
-        *pos += 1 + blob.len() as u64;
+        out.write_all(&header_crc.to_le_bytes())?;
+        *pos += 1 + blob.len() as u64 + 4;
 
-        // Footer index.
+        // Footer index, checksummed as one unit.
         let index_off = *pos;
         let mut index = Vec::with_capacity(self.metas.len() * 48 + 32);
         crate::varint::put_u64(&mut index, self.metas.len() as u64);
@@ -398,8 +515,23 @@ impl StoreWriter {
 
         // Fixed-size trailer so a reader can find the index from EOF.
         out.write_all(&index_off.to_le_bytes())?;
+        out.write_all(&crc32c(&index).to_le_bytes())?;
         out.write_all(TRAILER_MAGIC)?;
         out.flush()?;
+
+        // Durability, then atomicity: contents hit stable storage
+        // before the rename publishes them, and the directory fsync
+        // makes the new name itself survive a crash.
+        out.get_mut().sync_all()?;
+        if let Some(t) = &self.target {
+            std::fs::rename(&t.tmp, &t.dest).map_err(|e| {
+                io::Error::new(
+                    e.kind(),
+                    format!("renaming {} -> {}: {e}", t.tmp.display(), t.dest.display()),
+                )
+            })?;
+            sync_parent_dir(&t.dest)?;
+        }
         self.finished = true;
 
         Ok(StoreSummary {
@@ -408,6 +540,33 @@ impl StoreWriter {
             raw_bytes: self.raw_bytes,
             stored_bytes: self.metas.iter().map(|m| m.stored_len as u64).sum(),
         })
+    }
+
+    /// Walk away from an unfinished write *keeping* the temp file on
+    /// disk — what a `kill -9` leaves behind. Returns the temp path
+    /// (None if the writer already finished). Test harnesses pair this
+    /// with [`crate::fault::FailingFile`] kill offsets and then point
+    /// `recover` at the returned path.
+    pub fn abandon(mut self) -> Option<PathBuf> {
+        let _ = self.drain_pipeline();
+        self.finished = true; // disarm the Drop cleanup
+        self.target.take().map(|t| t.tmp)
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        // An abandoned-by-error writer: release the file (the
+        // committer thread may still hold it) and remove the orphaned
+        // temp so failed runs don't litter the trace directory.
+        let _ = self.drain_pipeline();
+        self.sink = Sink::Draining;
+        if let Some(t) = &self.target {
+            let _ = std::fs::remove_file(&t.tmp);
+        }
     }
 }
 
@@ -460,7 +619,7 @@ pub fn write_store_v1(path: &Path, trace: &Trace, chunk_target: usize) -> io::Re
         let mut meta = std::mem::replace(open, ChunkMeta::summarize(&[]));
         let raw = std::mem::take(enc);
         raw_bytes += raw.len() as u64;
-        let (payload, compression, m) = compress_chunk(raw, meta);
+        let (payload, compression, _crc, m) = compress_chunk(raw, meta);
         meta = m;
         meta.offset = *pos;
         meta.stored_len = payload.len() as u32;
@@ -481,32 +640,8 @@ pub fn write_store_v1(path: &Path, trace: &Trace, chunk_target: usize) -> io::Re
     }
     seal(&mut enc, &mut open, &mut out, &mut pos)?;
 
-    let header_text = mempersp_extrae::trace_format::header_sections(trace);
-    let header_raw = header_text.as_bytes();
-    let header_lz = lz::compress(header_raw);
-    let header_off = pos;
-    let (blob, code): (&[u8], u8) = if header_lz.len() < header_raw.len() {
-        (&header_lz, Compression::Lz.code())
-    } else {
-        (header_raw, Compression::Raw.code())
-    };
-    out.write_all(&[code])?;
-    out.write_all(blob)?;
-    pos += 1 + blob.len() as u64;
-
-    let index_off = pos;
-    let mut index = Vec::with_capacity(metas.len() * 48 + 32);
-    crate::varint::put_u64(&mut index, metas.len() as u64);
-    for m in &metas {
-        m.encode(&mut index);
-    }
-    crate::varint::put_u64(&mut index, header_off);
-    crate::varint::put_u64(&mut index, header_raw.len() as u64);
-    crate::varint::put_u64(&mut index, blob.len() as u64);
-    out.write_all(&index)?;
-    out.write_all(&index_off.to_le_bytes())?;
-    out.write_all(TRAILER_MAGIC)?;
-    out.flush()?;
+    let (header_off, header_raw_len, blob_len) = write_header_blob_v2(&mut out, &mut pos, trace)?;
+    write_footer_v2(&mut out, pos, &metas, header_off, header_raw_len, blob_len)?;
 
     Ok(StoreSummary {
         events: trace.events.len() as u64,
@@ -514,6 +649,111 @@ pub fn write_store_v1(path: &Path, trace: &Trace, chunk_target: usize) -> io::Re
         raw_bytes,
         stored_bytes: metas.iter().map(|m| m.stored_len as u64).sum(),
     })
+}
+
+/// Write `trace` in the columnar-but-unchecksummed v2 format
+/// (`MPSTORE2` magic, no chunk frames, `MPSEND01` trailer). Kept so
+/// the reader's v2 path and the v2→v3 `convert`/`recover` upgrade
+/// paths stay covered by tests and benches; new traces use v3.
+pub fn write_store_v2(path: &Path, trace: &Trace, chunk_target: usize) -> io::Result<StoreSummary> {
+    let file = std::fs::File::create(path).map_err(|e| {
+        io::Error::new(e.kind(), format!("creating store {}: {e}", path.display()))
+    })?;
+    let mut out = io::BufWriter::new(file);
+    out.write_all(MAGIC_V2)?;
+    let mut pos = MAGIC_V2.len() as u64;
+    let chunk_target = chunk_target.max(1024);
+
+    let mut metas = Vec::new();
+    let mut builder = ChunkBuilder::new();
+    let mut open = ChunkMeta::summarize(&[]);
+    let mut raw_bytes = 0u64;
+    let mut total_events = 0u64;
+    let mut seal = |builder: &mut ChunkBuilder,
+                    open: &mut ChunkMeta,
+                    out: &mut io::BufWriter<std::fs::File>,
+                    pos: &mut u64|
+     -> io::Result<()> {
+        if open.events == 0 {
+            return Ok(());
+        }
+        let mut meta = std::mem::replace(open, ChunkMeta::summarize(&[]));
+        let raw = builder.serialize();
+        raw_bytes += raw.len() as u64;
+        let (payload, compression, _crc, m) = compress_chunk(raw, meta);
+        meta = m;
+        meta.offset = *pos;
+        meta.stored_len = payload.len() as u32;
+        meta.compression = compression;
+        out.write_all(&payload)?;
+        *pos += payload.len() as u64;
+        metas.push(meta);
+        Ok(())
+    };
+    for e in &trace.events {
+        builder.push(e);
+        open.observe(e);
+        open.events += 1;
+        total_events += 1;
+        if builder.encoded_len() >= chunk_target {
+            seal(&mut builder, &mut open, &mut out, &mut pos)?;
+        }
+    }
+    seal(&mut builder, &mut open, &mut out, &mut pos)?;
+
+    let (header_off, header_raw_len, blob_len) = write_header_blob_v2(&mut out, &mut pos, trace)?;
+    write_footer_v2(&mut out, pos, &metas, header_off, header_raw_len, blob_len)?;
+
+    Ok(StoreSummary {
+        events: total_events,
+        chunks: metas.len() as u64,
+        raw_bytes,
+        stored_bytes: metas.iter().map(|m| m.stored_len as u64).sum(),
+    })
+}
+
+/// The unchecksummed v1/v2 header blob: compression code + blob.
+fn write_header_blob_v2(
+    out: &mut io::BufWriter<std::fs::File>,
+    pos: &mut u64,
+    trace: &Trace,
+) -> io::Result<(u64, u64, u64)> {
+    let header_text = mempersp_extrae::trace_format::header_sections(trace);
+    let header_raw = header_text.as_bytes();
+    let header_lz = lz::compress(header_raw);
+    let header_off = *pos;
+    let (blob, code): (&[u8], u8) = if header_lz.len() < header_raw.len() {
+        (&header_lz, Compression::Lz.code())
+    } else {
+        (header_raw, Compression::Raw.code())
+    };
+    out.write_all(&[code])?;
+    out.write_all(blob)?;
+    *pos += 1 + blob.len() as u64;
+    Ok((header_off, header_raw.len() as u64, blob.len() as u64))
+}
+
+/// The unchecksummed v1/v2 footer index + 16-byte trailer.
+fn write_footer_v2(
+    out: &mut io::BufWriter<std::fs::File>,
+    index_off: u64,
+    metas: &[ChunkMeta],
+    header_off: u64,
+    header_raw_len: u64,
+    blob_len: u64,
+) -> io::Result<()> {
+    let mut index = Vec::with_capacity(metas.len() * 48 + 32);
+    crate::varint::put_u64(&mut index, metas.len() as u64);
+    for m in metas {
+        m.encode(&mut index);
+    }
+    crate::varint::put_u64(&mut index, header_off);
+    crate::varint::put_u64(&mut index, header_raw_len);
+    crate::varint::put_u64(&mut index, blob_len);
+    out.write_all(&index)?;
+    out.write_all(&index_off.to_le_bytes())?;
+    out.write_all(TRAILER_MAGIC_V2)?;
+    out.flush()
 }
 
 /// [`write_store_chunked`] with a compressor pool of `threads`.
@@ -567,7 +807,23 @@ mod tests {
     }
 
     #[test]
-    fn file_shape_magic_and_trailer() {
+    fn v2_store_round_trips_through_reader() {
+        let path = tmp("legacy_v2.mps");
+        let t = trace(1500);
+        let s = write_store_v2(&path, &t, 4096).unwrap();
+        assert_eq!(s.events, 3000);
+        assert!(s.chunks > 1, "small target forces multiple chunks, got {}", s.chunks);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..8], MAGIC_V2);
+        assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC_V2);
+        let r = crate::reader::StoreReader::open(&path).unwrap();
+        let back = r.materialize().unwrap();
+        assert_eq!(back.events, t.events, "v2 files must stay readable");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_shape_magic_frames_and_trailer() {
         let path = tmp("shape.mps");
         let t = trace(2000);
         let s = write_store_chunked(&path, &t, 4096).unwrap();
@@ -576,9 +832,19 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         assert_eq!(&bytes[..8], MAGIC);
         assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC);
-        let index_off =
-            u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap());
-        assert!((index_off as usize) < bytes.len() - 16);
+        let index_off = u64::from_le_bytes(
+            bytes[bytes.len() - TRAILER_LEN..bytes.len() - TRAILER_LEN + 8].try_into().unwrap(),
+        );
+        assert!((index_off as usize) < bytes.len() - TRAILER_LEN);
+        let index_crc = u32::from_le_bytes(
+            bytes[bytes.len() - 12..bytes.len() - 8].try_into().unwrap(),
+        );
+        assert_eq!(index_crc, crc32c(&bytes[index_off as usize..bytes.len() - TRAILER_LEN]));
+        // The first chunk frame sits right behind the magic and
+        // self-validates.
+        let frame = ChunkFrame::decode(&bytes[8..8 + FRAME_LEN]).unwrap();
+        assert!(frame.events > 0);
+        assert_eq!(frame.payload_crc, crc32c(&bytes[8 + FRAME_LEN..8 + FRAME_LEN + frame.stored_len as usize]));
         std::fs::remove_file(&path).ok();
     }
 
@@ -637,5 +903,47 @@ mod tests {
         let s = w.finish(&t).unwrap();
         assert_eq!((s.events, s.chunks), (0, 0));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_leaves_no_temp_file() {
+        let path = tmp("atomic.mps");
+        let t = trace(500);
+        write_store(&path, &t).unwrap();
+        assert!(path.exists());
+        assert!(!tmp_path(&path).exists(), "finish must clean up the temp file via rename");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dropped_writer_removes_orphaned_temp_and_final_path_stays_absent() {
+        let path = tmp("dropped.mps");
+        std::fs::remove_file(&path).ok();
+        let t = trace(500);
+        {
+            let mut w = StoreWriter::with_threads(&path, 2048, 2).unwrap();
+            for e in &t.events {
+                w.append(e).unwrap();
+            }
+            assert!(tmp_path(&path).exists(), "unfinished bytes live in the temp file");
+            // No finish: simulate an in-process error path unwinding.
+        }
+        assert!(!tmp_path(&path).exists(), "Drop must remove the orphaned temp");
+        assert!(!path.exists(), "an unfinished write must never appear at the final path");
+    }
+
+    #[test]
+    fn abandon_keeps_the_temp_for_salvage() {
+        let path = tmp("abandoned.mps");
+        std::fs::remove_file(&path).ok();
+        let t = trace(500);
+        let mut w = StoreWriter::with_chunk_target(&path, 1024).unwrap();
+        for e in &t.events {
+            w.append(e).unwrap();
+        }
+        let tmp_file = w.abandon().unwrap();
+        assert!(tmp_file.exists(), "abandon keeps the torn temp file");
+        assert!(!path.exists());
+        std::fs::remove_file(&tmp_file).ok();
     }
 }

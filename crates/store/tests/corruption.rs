@@ -7,9 +7,11 @@
 use mempersp_extrae::query::{EventClass, Query};
 use mempersp_extrae::tracer::{Tracer, TracerConfig};
 use mempersp_pebs::CounterSnapshot;
+use mempersp_store::cache::CacheConfig;
 use mempersp_store::chunk::{ChunkMeta, Compression};
+use mempersp_store::reader::RecoveryMode;
 use mempersp_store::writer::write_store_chunked;
-use mempersp_store::StoreReader;
+use mempersp_store::{ShardedReader, StoreReader};
 use proptest::prelude::*;
 
 fn trace(n: u64) -> mempersp_extrae::tracer::Trace {
@@ -118,6 +120,113 @@ fn open_crafted(meta: ChunkMeta, header_raw_len: u64) -> std::io::Result<StoreRe
     bytes.extend_from_slice(&index_off.to_le_bytes());
     bytes.extend_from_slice(b"MPSEND01");
     open_bytes("crafted.mps", &bytes)
+}
+
+/// Build a fresh 3-shard store directory for a hostile-input test.
+fn sharded_store(name: &str, iters: u64) -> (std::path::PathBuf, mempersp_extrae::tracer::Trace) {
+    let dir = tmpdir().join(format!("{name}_{:?}.mps.d", std::thread::current().id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let t = trace(iters);
+    let per_shard = (t.events.len() as u64).div_ceil(3);
+    mempersp_store::write_store_sharded(&dir, &t, 1024, 1, per_shard).expect("write sharded");
+    (dir, t)
+}
+
+/// A flipped payload byte in one shard: a strict query must error
+/// descriptively; a salvage query must skip exactly the damaged chunk
+/// and keep every other shard's events, naming the culprit shard.
+#[test]
+fn sharded_flip_one_shard_strict_errors_salvage_recovers_rest() {
+    let (dir, t) = sharded_store("flip1", 600);
+    let victim = dir.join("shard-0001.mps");
+    let lost = StoreReader::open(&victim).unwrap().chunks()[0].events as usize;
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let at = 8 + mempersp_store::FRAME_LEN + 3; // inside chunk 0's payload
+    bytes[at] ^= 0x40;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let strict = ShardedReader::open(&dir).expect("strict open is lazy about payloads");
+    let err = match strict.query(&Query::all()) {
+        Ok(_) => panic!("strict query must refuse a corrupt chunk"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(!err.to_string().is_empty());
+
+    let salvage =
+        ShardedReader::open_with_mode(&dir, CacheConfig::default(), RecoveryMode::Salvage).unwrap();
+    let (events, stats) = salvage.query(&Query::all()).unwrap();
+    assert_eq!(stats.chunks_damaged, 1);
+    assert_eq!(events.len(), t.events.len() - lost, "salvage must lose exactly one chunk");
+    let report = salvage.damage_report();
+    assert!(report.iter().any(|d| d.contains("shard-0001")), "{report:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A deleted shard: strict open names the missing file; salvage opens
+/// the survivors and returns their events (a prefix + a suffix of the
+/// original stream).
+#[test]
+fn sharded_deleted_shard_strict_errors_salvage_keeps_survivors() {
+    let (dir, t) = sharded_store("del1", 600);
+    let survivors: u64 = ["shard-0000.mps", "shard-0002.mps"]
+        .iter()
+        .map(|n| StoreReader::open(&dir.join(n)).unwrap().num_events())
+        .sum();
+    std::fs::remove_file(dir.join("shard-0001.mps")).unwrap();
+
+    let err = match ShardedReader::open(&dir) {
+        Ok(_) => panic!("strict open must fail on a missing shard"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("shard-0001"), "undescriptive: {err}");
+
+    let salvage =
+        ShardedReader::open_with_mode(&dir, CacheConfig::default(), RecoveryMode::Salvage).unwrap();
+    let (events, _) = salvage.query(&Query::all()).unwrap();
+    assert_eq!(events.len() as u64, survivors);
+    let head = StoreReader::open(&dir.join("shard-0000.mps")).unwrap().num_events() as usize;
+    assert_eq!(events[..head], t.events[..head], "surviving prefix must be intact");
+    assert_eq!(
+        events[head..],
+        t.events[t.events.len() - (events.len() - head)..],
+        "surviving suffix must be intact"
+    );
+    assert!(salvage.damage_report().iter().any(|d| d.contains("shard-0001")));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A manifest that lies about a shard's event count: strict open
+/// refuses; salvage notes the mismatch and still serves every event.
+#[test]
+fn sharded_manifest_mismatch_strict_errors_salvage_notes_it() {
+    let (dir, t) = sharded_store("lie1", 600);
+    let manifest_path = dir.join(mempersp_store::shard::MANIFEST_NAME);
+    let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+    let doctored: String = manifest
+        .lines()
+        .map(|l| {
+            if l.starts_with("shard-0001") {
+                "shard-0001.mps 999999\n".to_string()
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    std::fs::write(&manifest_path, doctored).unwrap();
+
+    let err = match ShardedReader::open(&dir) {
+        Ok(_) => panic!("strict open must fail on a manifest mismatch"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("manifest says"), "undescriptive: {err}");
+
+    let salvage =
+        ShardedReader::open_with_mode(&dir, CacheConfig::default(), RecoveryMode::Salvage).unwrap();
+    let (events, _) = salvage.query(&Query::all()).unwrap();
+    assert_eq!(events, t.events, "a lying manifest must not cost any data");
+    assert!(salvage.damage_report().iter().any(|d| d.contains("manifest says")));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 proptest! {

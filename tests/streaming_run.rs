@@ -76,6 +76,7 @@ fn streaming_sharded_store_matches_materialized_sharding() {
         writer_threads: 2,
         max_inflight: Some(2),
         shard_events: Some(2_000),
+        ..StreamOptions::default()
     };
     run_streaming_to_path(machine_config(), &mut HpcgWorkload::new(hpcg_config()), &dir, &opts)
         .unwrap();
