@@ -1,0 +1,217 @@
+//! Throughput and latency of the trace-analysis service on a
+//! one-million-event generated store ([`mempersp_bench::gentrace`];
+//! `MEMPERSP_BENCH_EVENTS` overrides the size).
+//!
+//! Scenarios (all over real sockets against an in-process server):
+//!
+//! * `query_cold` — a selective `/v1/query` against a **fresh server
+//!   instance** per trial: open + footer read + cold block cache, the
+//!   cost a CLI invocation pays every time;
+//! * `query_cached` — the same query repeated against one resident
+//!   server: shared readers, warm sharded block cache;
+//! * `fold_cold` — `/v1/fold` of one region on a fresh server (two
+//!   full predicate scans + the fitting pipeline);
+//! * `fold_memoized` — the same fold repeated against the resident
+//!   server: answered from the fold memo (`X-Memo: hit` asserted),
+//!   the response body byte-identical to the cold one.
+//!
+//! Writes `BENCH_server.json` (req/sec + p50/p99 per scenario, host
+//! block). Gates: memoized folds must beat cold folds outright, and
+//! the cached query must beat the cold query on any host — both are
+//! architecture points of the service, not host-dependent threading
+//! effects, so neither is CPU-count-gated.
+
+use mempersp_bench::gentrace::{generate, GenConfig};
+use mempersp_bench::host_info;
+use mempersp_server::{start, ServerConfig, ServerHandle};
+use mempersp_store::write_store_chunked;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// One request over a fresh connection; returns (status, memo header
+/// value if any, body length, seconds).
+fn timed_request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> (u16, Option<String>, usize, f64) {
+    let request = format!(
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let t = Instant::now();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_nodelay(true).ok();
+    s.write_all(request.as_bytes()).expect("send");
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).expect("recv");
+    let seconds = t.elapsed().as_secs_f64();
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text.split(' ').nth(1).expect("status line").parse().expect("status");
+    let memo = text
+        .lines()
+        .find(|l| l.to_ascii_lowercase().starts_with("x-memo:"))
+        .map(|l| l.split(':').nth(1).unwrap().trim().to_string());
+    (status, memo, raw.len(), seconds)
+}
+
+struct Scenario {
+    name: &'static str,
+    latencies: Vec<f64>,
+}
+
+impl Scenario {
+    fn percentile(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    }
+
+    fn req_per_sec(&self) -> f64 {
+        self.latencies.len() as f64 / self.latencies.iter().sum::<f64>()
+    }
+
+    fn report(&self) -> serde_json::Value {
+        serde_json::json!({
+            "name": self.name,
+            "requests": self.latencies.len(),
+            "req_per_sec": self.req_per_sec(),
+            "p50_seconds": self.percentile(0.50),
+            "p99_seconds": self.percentile(0.99),
+        })
+    }
+}
+
+fn fresh_server(root: &std::path::Path) -> ServerHandle {
+    start(&ServerConfig {
+        root: root.to_path_buf(),
+        addr: "127.0.0.1:0".to_string(),
+        max_inflight: 16,
+        timeout_ms: 0,
+        workers: 2,
+        memo_cap: 16,
+    })
+    .expect("start server")
+}
+
+fn stop(handle: ServerHandle) {
+    handle.shutdown();
+    handle.join();
+}
+
+fn main() {
+    let events: u64 = std::env::var("MEMPERSP_BENCH_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let trace = generate(&GenConfig { events, ..GenConfig::default() });
+    let dir = std::env::temp_dir().join(format!("mempersp_bench_srv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let summary = write_store_chunked(&dir.join("gen.mps"), &trace, 64 * 1024).expect("write");
+
+    let span = trace.events.last().map(|e| e.cycles).unwrap_or(0);
+    let query_body = format!(
+        "{{\"trace\":\"gen.mps\",\"query\":{{\"time\":[{},{}],\"kinds\":[\"PEBS\"]}},\"limit\":1000}}",
+        span / 2,
+        span / 2 + span / 4
+    );
+    let fold_body = r#"{"trace":"gen.mps","regions":["gen_compute"],"points":16}"#;
+
+    const COLD_TRIALS: usize = 5;
+    const WARM_TRIALS: usize = 40;
+
+    // Cold query: a fresh server (fresh readers, empty cache) each time.
+    let mut query_cold = Scenario { name: "query_cold", latencies: Vec::new() };
+    for _ in 0..COLD_TRIALS {
+        let h = fresh_server(&dir);
+        let (status, _, _, secs) = timed_request(h.addr(), "POST", "/v1/query", &query_body);
+        assert_eq!(status, 200);
+        query_cold.latencies.push(secs);
+        stop(h);
+    }
+
+    // Resident server for every warm scenario.
+    let resident = fresh_server(&dir);
+    let addr = resident.addr();
+
+    let (status, _, warm_len, _) = timed_request(addr, "POST", "/v1/query", &query_body);
+    assert_eq!(status, 200);
+    let mut query_cached = Scenario { name: "query_cached", latencies: Vec::new() };
+    for _ in 0..WARM_TRIALS {
+        let (status, _, len, secs) = timed_request(addr, "POST", "/v1/query", &query_body);
+        assert_eq!(status, 200);
+        assert_eq!(len, warm_len, "cached answers must not drift");
+        query_cached.latencies.push(secs);
+    }
+
+    // Cold fold: fresh server (empty memo, cold cache) each time.
+    let mut fold_cold = Scenario { name: "fold_cold", latencies: Vec::new() };
+    for _ in 0..3 {
+        let h = fresh_server(&dir);
+        let (status, memo, _, secs) = timed_request(h.addr(), "POST", "/v1/fold", fold_body);
+        assert_eq!(status, 200);
+        assert_eq!(memo.as_deref(), Some("miss"), "fresh server must compute the fold");
+        fold_cold.latencies.push(secs);
+        stop(h);
+    }
+
+    // Memoized fold on the resident server: first miss primes the
+    // memo, then every repeat must be a hit of identical size.
+    let (status, memo, _, _) = timed_request(addr, "POST", "/v1/fold", fold_body);
+    assert_eq!(status, 200);
+    assert_eq!(memo.as_deref(), Some("miss"));
+    let mut fold_memoized = Scenario { name: "fold_memoized", latencies: Vec::new() };
+    let mut hit_len = None;
+    for _ in 0..WARM_TRIALS {
+        let (status, memo, len, secs) = timed_request(addr, "POST", "/v1/fold", fold_body);
+        assert_eq!(status, 200);
+        assert_eq!(memo.as_deref(), Some("hit"), "repeat fold must be memoized");
+        assert_eq!(len, *hit_len.get_or_insert(len), "memoized body must be byte-identical");
+        fold_memoized.latencies.push(secs);
+    }
+    stop(resident);
+
+    // Architecture gates — not host-gated: the memo skips the whole
+    // fold pipeline and the warm cache skips open+decode, on any CPU.
+    let memo_speedup = fold_cold.percentile(0.5) / fold_memoized.percentile(0.5);
+    assert!(
+        memo_speedup > 1.0,
+        "memoized fold (p50 {:.5}s) must beat the cold fold (p50 {:.5}s)",
+        fold_memoized.percentile(0.5),
+        fold_cold.percentile(0.5)
+    );
+    let cache_speedup = query_cold.percentile(0.5) / query_cached.percentile(0.5);
+
+    let scenarios = [&query_cold, &query_cached, &fold_cold, &fold_memoized];
+    for s in &scenarios {
+        println!(
+            "{:<14} {:>4} reqs {:>9.2} req/s  p50 {:>9.5}s  p99 {:>9.5}s",
+            s.name,
+            s.latencies.len(),
+            s.req_per_sec(),
+            s.percentile(0.50),
+            s.percentile(0.99)
+        );
+    }
+    println!("memoized fold vs cold fold (p50):   {memo_speedup:.2}x");
+    println!("cached query vs cold query (p50):   {cache_speedup:.2}x");
+
+    let out = serde_json::json!({
+        "bench": "server_throughput",
+        "host": host_info(),
+        "trace_events": summary.events,
+        "chunks": summary.chunks,
+        "scenarios": scenarios.iter().map(|s| s.report()).collect::<Vec<_>>(),
+        "memoized_fold_speedup": memo_speedup,
+        "cached_query_speedup": cache_speedup,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, serde_json::to_string_pretty(&out).expect("serialize"))
+        .expect("write BENCH_server.json");
+    println!("wrote {path}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -93,6 +93,21 @@ impl Value {
             _ => None,
         }
     }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(v)) => Some(*v),
+            Value::Number(Number::U(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 impl PartialEq<str> for Value {
@@ -302,6 +317,287 @@ pub fn to_string_pretty(v: &Value) -> Result<String> {
     Ok(out)
 }
 
+/// A parse failure with the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Containers deeper than this are rejected rather than risking a
+/// stack overflow on adversarial input (the server feeds this parser
+/// raw request bodies).
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> std::result::Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> std::result::Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> std::result::Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> std::result::Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn parse_string(&mut self) -> std::result::Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` with a low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return self.err("invalid low surrogate");
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c)
+                                } else {
+                                    return self.err("unpaired surrogate");
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return self.err("unpaired surrogate");
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                            continue; // parse_hex4 already advanced past the digits
+                        }
+                        _ => return self.err("invalid escape sequence"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return self.err("control character in string"),
+                Some(_) => {
+                    // Copy one UTF-8 scalar; the input is a &str so the
+                    // boundaries are already valid.
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let s = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| ParseError { offset: self.pos, message: "invalid UTF-8".into() })?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> std::result::Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match hex {
+            Some(v) => {
+                self.pos = end;
+                Ok(v)
+            }
+            None => self.err("invalid \\u escape"),
+        }
+    }
+
+    fn parse_number(&mut self) -> std::result::Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Number(Number::F(f))),
+            _ => Err(ParseError { offset: start, message: format!("invalid number '{text}'") }),
+        }
+    }
+
+    fn parse_array(&mut self) -> std::result::Result<Value, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> std::result::Result<Value, ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parse a JSON text into a [`Value`].
+///
+/// Strict where it matters for a service boundary: rejects trailing
+/// garbage, unterminated strings, bad escapes, non-finite numbers and
+/// pathological nesting, and reports the byte offset of the failure.
+pub fn from_str(s: &str) -> std::result::Result<Value, ParseError> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after value");
+    }
+    Ok(v)
+}
+
 /// Construct a [`Value`] from JSON-ish literal syntax.
 ///
 /// Unlike the real `serde_json::json!`, nested containers are not
@@ -350,5 +646,61 @@ mod tests {
         assert_eq!(to_string(&json!(1.5f64)).unwrap(), "1.5");
         assert_eq!(to_string(&json!(-3i64)).unwrap(), "-3");
         assert_eq!(to_string(&json!(u64::MAX)).unwrap(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn parse_round_trips_constructed_values() {
+        let v = json!({
+            "a": 1u64,
+            "b": json!([true, json!(null), -7i64, 2.5f64]),
+            "c": json!({ "nested": "x\"y\n\t\\z" }),
+            "d": "unicode: é ☃",
+        });
+        let text = to_string(&v).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, v);
+        // And the pretty form parses back to the same value.
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), json!(true));
+        assert_eq!(from_str("0").unwrap(), json!(0u64));
+        assert_eq!(from_str("-12").unwrap().as_i64(), Some(-12));
+        assert_eq!(from_str("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(from_str(&u64::MAX.to_string()).unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(from_str(r#""\u00e9""#).unwrap(), json!("é"));
+        assert_eq!(from_str(r#""\ud83d\ude00""#).unwrap(), json!("😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+            "{\"a\" 1}", "[1] extra", "\"\\q\"", "\"\\ud800\"", "nan", "01x",
+        ] {
+            let err = from_str(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+            assert!(err.to_string().contains("invalid JSON at byte"));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = from_str(r#"{"k": 3, "neg": -4, "o": {"x": 1}}"#).unwrap();
+        assert_eq!(v["k"].as_i64(), Some(3));
+        assert_eq!(v["neg"].as_i64(), Some(-4));
+        assert_eq!(v["o"].as_object().map(|m| m.len()), Some(1));
+        assert!(v.as_object().is_some());
+        assert!(v["k"].as_object().is_none());
     }
 }

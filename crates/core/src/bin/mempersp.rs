@@ -59,7 +59,9 @@ fn usage() -> ! {
          mempersp convert <trace> -o <out.prv|out.mps|out.mps.d> \
          [--shard-events N] [--threads N|auto] [--force]\n  \
          mempersp query <trace> [--time lo:hi] [--cores 0,2] [--kinds ENTER,PEBS] \
-         [--object N] [--threads N|auto] [--print N] [--stats] [--no-verify]\n  \
+         [--object N] [--threads N|auto] [--print N] [--json] [--stats] [--no-verify]\n  \
+         mempersp serve --root <repo-dir> [--addr host:port] [--max-inflight N] \
+         [--timeout-ms N] [--workers N] [--memo-cap N]\n  \
          mempersp fsck <trace.mps|trace.mps.d|trace.mps.tmp>\n  \
          mempersp recover <damaged.mps|.mps.d|.mps.tmp> -o <out.mps> [--force]\n\
          \n  <trace> may be a text .prv trace or a binary .mps store.\n  \
@@ -108,6 +110,7 @@ fn main() {
         Some("profile") => cmd_profile(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         _ => usage(),
@@ -297,7 +300,8 @@ fn cmd_run(args: &[String]) {
 /// value consume the following argument, so `--time 0:1000 t.mps`
 /// resolves to `t.mps`, not `0:1000`.
 fn trace_path(args: &[String]) -> &String {
-    const BOOL_FLAGS: &[&str] = &["--stats", "--no-group", "--haswell", "--force", "--no-verify"];
+    const BOOL_FLAGS: &[&str] =
+        &["--stats", "--no-group", "--haswell", "--force", "--no-verify", "--json"];
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -478,6 +482,25 @@ fn cmd_query(args: &[String]) {
     }
     .unwrap_or_else(|e| die(&format!("query failed on {path}"), &e));
 
+    if args.iter().any(|a| a == "--json") {
+        // One JSON object per line, the exact record schema the
+        // service's `/v1/query` puts in its `events` array — so
+        // `mempersp query --json` and a curl of the server diff clean.
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut out = std::io::BufWriter::new(stdout.lock());
+        for e in &events {
+            let line = serde_json::to_string(&mempersp_extrae::json::event_to_json(e))
+                .expect("serializing event");
+            writeln!(out, "{line}").unwrap_or_else(|e| die("writing output", &e));
+        }
+        out.flush().unwrap_or_else(|e| die("writing output", &e));
+        if args.iter().any(|a| a == "--stats") {
+            print_scan_stats(&stats);
+        }
+        return;
+    }
+
     let mut by_kind = [0u64; EventClass::ALL.len()];
     for e in &events {
         by_kind[EventClass::of(&e.payload) as usize] += 1;
@@ -495,6 +518,40 @@ fn cmd_query(args: &[String]) {
     if args.iter().any(|a| a == "--stats") {
         print_scan_stats(&stats);
     }
+}
+
+/// Run the resident trace-analysis service over a repository
+/// directory of `.mps`/`.mps.d` stores. Blocks until SIGTERM/SIGINT
+/// or `POST /admin/shutdown`, then drains in-flight requests.
+fn cmd_serve(args: &[String]) {
+    let mut cfg = mempersp_server::ServerConfig {
+        root: arg_value(args, "--root").map(std::path::PathBuf::from).unwrap_or_else(|| usage()),
+        ..Default::default()
+    };
+    if let Some(addr) = arg_value(args, "--addr") {
+        cfg.addr = addr;
+    }
+    let numeric = |flag: &str| -> Option<u64> {
+        arg_value(args, flag).map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a non-negative integer, got {v:?}");
+                exit(1);
+            })
+        })
+    };
+    if let Some(n) = numeric("--max-inflight") {
+        cfg.max_inflight = (n as usize).max(1);
+    }
+    if let Some(n) = numeric("--timeout-ms") {
+        cfg.timeout_ms = n;
+    }
+    if let Some(n) = numeric("--workers") {
+        cfg.workers = n as usize;
+    }
+    if let Some(n) = numeric("--memo-cap") {
+        cfg.memo_cap = (n as usize).max(1);
+    }
+    mempersp_server::serve_blocking(&cfg).unwrap_or_else(|e| die("serve", &e));
 }
 
 fn cmd_info(args: &[String]) {

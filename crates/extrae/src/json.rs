@@ -1,0 +1,323 @@
+//! JSON record schema for trace events, queries and scan stats.
+//!
+//! This is the wire format shared by `mempersp query --json` and the
+//! analysis service's `/v1/query` endpoint: both sides serialize
+//! through [`event_to_json`], so a CLI record and a server record for
+//! the same event are **byte-identical** — tests and CI diff them
+//! directly. Key order is fixed (construction order below) and the
+//! writer is deterministic, so equality is textual, not structural.
+//!
+//! The schema mirrors the text format's `event_record` line: one flat
+//! object per event, `cycles`/`core` first, then a `kind` mnemonic
+//! (`ENTER`, `EXIT`, `SAMP`, `PEBS`, `ALLOC`, `FREE`, `MUX`, `USER` —
+//! the same labels [`EventClass::label`] prints) and the
+//! payload-specific fields.
+
+use crate::events::{EventPayload, TraceEvent};
+use crate::objects::ObjectId;
+use crate::query::{EventClass, KindMask, Query};
+use crate::trace_source::ScanStats;
+use serde_json::{json, Value};
+
+/// One event as a flat JSON object.
+pub fn event_to_json(e: &TraceEvent) -> Value {
+    let mut m: Vec<(String, Value)> = vec![
+        ("cycles".into(), json!(e.cycles)),
+        ("core".into(), json!(e.core)),
+        ("kind".into(), json!(EventClass::of(&e.payload).label())),
+    ];
+    match &e.payload {
+        EventPayload::RegionEnter { region, counters }
+        | EventPayload::RegionExit { region, counters } => {
+            m.push(("region".into(), json!(region.0)));
+            m.push(("counters".into(), counters_json(counters)));
+        }
+        EventPayload::CounterSample { ip, counters, stack } => {
+            m.push(("ip".into(), json!(ip.0)));
+            m.push(("counters".into(), counters_json(counters)));
+            m.push((
+                "stack".into(),
+                Value::Array(stack.iter().map(|r| json!(r.0)).collect()),
+            ));
+        }
+        EventPayload::Pebs { sample, object } => {
+            m.push(("ip".into(), json!(sample.ip)));
+            m.push(("addr".into(), json!(sample.addr)));
+            m.push(("size".into(), json!(sample.size)));
+            m.push(("op".into(), json!(if sample.is_store { "S" } else { "L" })));
+            m.push(("latency".into(), json!(sample.latency)));
+            m.push(("source".into(), json!(sample.source.label())));
+            m.push(("tlb_miss".into(), json!(sample.tlb_miss)));
+            m.push(("object".into(), object.map(|o| json!(o.0)).unwrap_or(Value::Null)));
+        }
+        EventPayload::Alloc { base, size, callsite } => {
+            m.push(("base".into(), json!(*base)));
+            m.push(("size".into(), json!(*size)));
+            m.push(("callsite".into(), json!(callsite.0)));
+        }
+        EventPayload::Free { base } => {
+            m.push(("base".into(), json!(*base)));
+        }
+        EventPayload::MuxSwitch { event_index, label } => {
+            m.push(("event_index".into(), json!(*event_index)));
+            m.push(("label".into(), json!(label.as_str())));
+        }
+        EventPayload::User { kind, value } => {
+            m.push(("user_kind".into(), json!(*kind)));
+            m.push(("value".into(), json!(*value)));
+        }
+    }
+    Value::Object(m)
+}
+
+fn counters_json(c: &mempersp_pebs::CounterSnapshot) -> Value {
+    Value::Array(c.values().iter().map(|v| json!(*v)).collect())
+}
+
+/// Scan cost accounting as JSON (field order matches [`ScanStats`]).
+pub fn scan_stats_to_json(s: &ScanStats) -> Value {
+    json!({
+        "events_matched": s.events_matched,
+        "events_scanned": s.events_scanned,
+        "chunks_decoded": s.chunks_decoded,
+        "chunks_skipped": s.chunks_skipped,
+        "chunks_cached": s.chunks_cached,
+        "chunks_damaged": s.chunks_damaged,
+    })
+}
+
+/// A [`Query`] as JSON, the inverse of [`query_from_json`].
+pub fn query_to_json(q: &Query) -> Value {
+    let mut m: Vec<(String, Value)> = Vec::new();
+    if let Some((lo, hi)) = q.time {
+        m.push(("time".into(), json!([lo, hi])));
+    }
+    if let Some(cores) = &q.cores {
+        m.push(("cores".into(), Value::Array(cores.iter().map(|c| json!(*c)).collect())));
+    }
+    if q.kinds != KindMask::ALL {
+        let labels: Vec<Value> = EventClass::ALL
+            .iter()
+            .filter(|k| q.kinds.contains(**k))
+            .map(|k| json!(k.label()))
+            .collect();
+        m.push(("kinds".into(), Value::Array(labels)));
+    }
+    if let Some(o) = q.object {
+        m.push(("object".into(), json!(o.0)));
+    }
+    Value::Object(m)
+}
+
+/// Parse a query object. Strict: unknown keys, wrong types and
+/// malformed kind labels are errors (the service maps them to `400`).
+///
+/// Accepted keys, all optional — an empty object is a full scan:
+///
+/// - `"time": [lo, hi]` — inclusive cycle window
+/// - `"cores": [0, 2, ...]`
+/// - `"kinds": ["PEBS", "ENTER", ...]` — `event_record` mnemonics
+/// - `"object": id` — restricts to PEBS events touching the object;
+///   implies `kinds = ["PEBS"]` unless `kinds` is given explicitly
+///   (same semantics as `Query::touching_object`)
+pub fn query_from_json(v: &Value) -> Result<Query, String> {
+    let obj = v.as_object().ok_or("query must be a JSON object")?;
+    let mut q = Query::all();
+    let mut kinds_given = false;
+    for (key, val) in obj {
+        match key.as_str() {
+            "time" => {
+                let arr = val.as_array().ok_or("\"time\" must be [lo, hi]")?;
+                if arr.len() != 2 {
+                    return Err("\"time\" must be [lo, hi]".into());
+                }
+                let lo = arr[0].as_u64().ok_or("\"time\" bounds must be non-negative integers")?;
+                let hi = arr[1].as_u64().ok_or("\"time\" bounds must be non-negative integers")?;
+                if lo > hi {
+                    return Err(format!("\"time\" window is inverted: [{lo}, {hi}]"));
+                }
+                q.time = Some((lo, hi));
+            }
+            "cores" => {
+                let arr = val.as_array().ok_or("\"cores\" must be an array of core indices")?;
+                let mut cores = Vec::with_capacity(arr.len());
+                for c in arr {
+                    let c = c.as_u64().ok_or("\"cores\" entries must be non-negative integers")?;
+                    cores.push(usize::try_from(c).map_err(|_| "core index out of range")?);
+                }
+                q.cores = Some(cores);
+            }
+            "kinds" => {
+                let arr = val.as_array().ok_or("\"kinds\" must be an array of kind labels")?;
+                let mut kinds = Vec::with_capacity(arr.len());
+                for k in arr {
+                    let label = k.as_str().ok_or("\"kinds\" entries must be strings")?;
+                    let kind = EventClass::parse(label).ok_or_else(|| {
+                        format!(
+                            "unknown kind \"{label}\" (expected one of {})",
+                            EventClass::ALL.map(EventClass::label).join(", ")
+                        )
+                    })?;
+                    kinds.push(kind);
+                }
+                q.kinds = KindMask::of(&kinds);
+                kinds_given = true;
+            }
+            "object" => {
+                let id = val.as_u64().ok_or("\"object\" must be a non-negative integer id")?;
+                let id = u32::try_from(id).map_err(|_| "\"object\" id out of range")?;
+                q.object = Some(ObjectId(id));
+            }
+            other => {
+                return Err(format!(
+                    "unknown query key \"{other}\" (expected time, cores, kinds, object)"
+                ));
+            }
+        }
+    }
+    if q.object.is_some() && !kinds_given {
+        q.kinds = KindMask::of(&[EventClass::Pebs]);
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RegionId;
+    use crate::source::Ip;
+    use mempersp_memsim::MemLevel;
+    use mempersp_pebs::{CounterSnapshot, PebsSample};
+
+    fn ev(payload: EventPayload) -> TraceEvent {
+        TraceEvent { cycles: 123, core: 1, payload }
+    }
+
+    #[test]
+    fn every_payload_serializes_with_its_mnemonic() {
+        let c = CounterSnapshot::from_values([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        let cases: Vec<(EventPayload, &str)> = vec![
+            (EventPayload::RegionEnter { region: RegionId(3), counters: c }, "ENTER"),
+            (EventPayload::RegionExit { region: RegionId(3), counters: c }, "EXIT"),
+            (
+                EventPayload::CounterSample {
+                    ip: Ip(77),
+                    counters: c,
+                    stack: vec![RegionId(1), RegionId(2)],
+                },
+                "SAMP",
+            ),
+            (
+                EventPayload::Pebs {
+                    sample: PebsSample {
+                        timestamp: 123,
+                        core: 1,
+                        ip: 5,
+                        addr: 4096,
+                        size: 8,
+                        is_store: true,
+                        latency: 40,
+                        source: MemLevel::Dram,
+                        tlb_miss: true,
+                    },
+                    object: Some(ObjectId(9)),
+                },
+                "PEBS",
+            ),
+            (EventPayload::Alloc { base: 100, size: 64, callsite: Ip(5) }, "ALLOC"),
+            (EventPayload::Free { base: 100 }, "FREE"),
+            (EventPayload::MuxSwitch { event_index: 2, label: "stores".into() }, "MUX"),
+            (EventPayload::User { kind: 7, value: 42 }, "USER"),
+        ];
+        for (payload, label) in cases {
+            let v = event_to_json(&ev(payload));
+            assert_eq!(v["kind"], *label);
+            assert_eq!(v["cycles"].as_u64(), Some(123));
+            assert_eq!(v["core"].as_u64(), Some(1));
+            // Every record must survive a text round trip unchanged.
+            let text = serde_json::to_string(&v).unwrap();
+            assert_eq!(serde_json::from_str(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn pebs_fields_match_the_text_record() {
+        let sample = PebsSample {
+            timestamp: 123,
+            core: 1,
+            ip: 5,
+            addr: 4096,
+            size: 8,
+            is_store: false,
+            latency: 40,
+            source: MemLevel::L3,
+            tlb_miss: false,
+        };
+        let v = event_to_json(&ev(EventPayload::Pebs { sample, object: None }));
+        assert_eq!(v["op"], "L");
+        assert_eq!(v["source"], "L3");
+        assert_eq!(v["tlb_miss"], false);
+        assert!(v["object"].is_null());
+    }
+
+    #[test]
+    fn query_round_trips_through_json() {
+        let q = Query::all()
+            .in_time(10, 500)
+            .on_cores(&[0, 2])
+            .with_kinds(&[EventClass::Pebs, EventClass::User]);
+        let v = query_to_json(&q);
+        assert_eq!(query_from_json(&v).unwrap(), q);
+        // Full scan round-trips through the empty object.
+        assert_eq!(query_from_json(&query_to_json(&Query::all())).unwrap(), Query::all());
+    }
+
+    #[test]
+    fn object_implies_pebs_unless_kinds_given() {
+        let v = serde_json::from_str(r#"{"object": 4}"#).unwrap();
+        let q = query_from_json(&v).unwrap();
+        assert_eq!(q.object, Some(ObjectId(4)));
+        assert_eq!(q.kinds, KindMask::of(&[EventClass::Pebs]));
+
+        let v = serde_json::from_str(r#"{"object": 4, "kinds": ["PEBS", "ALLOC"]}"#).unwrap();
+        let q = query_from_json(&v).unwrap();
+        assert_eq!(q.kinds, KindMask::of(&[EventClass::Pebs, EventClass::Alloc]));
+    }
+
+    #[test]
+    fn malformed_queries_are_rejected_with_reasons() {
+        for (body, needle) in [
+            (r#"[1,2]"#, "must be a JSON object"),
+            (r#"{"time": [5]}"#, "[lo, hi]"),
+            (r#"{"time": [9, 2]}"#, "inverted"),
+            (r#"{"time": [-1, 2]}"#, "non-negative"),
+            (r#"{"cores": 3}"#, "array"),
+            (r#"{"kinds": ["NOPE"]}"#, "unknown kind"),
+            (r#"{"object": "x"}"#, "integer"),
+            (r#"{"bogus": 1}"#, "unknown query key"),
+        ] {
+            let v = serde_json::from_str(body).unwrap();
+            let err = query_from_json(&v).expect_err(body);
+            assert!(err.contains(needle), "{body}: {err}");
+        }
+    }
+
+    #[test]
+    fn scan_stats_serialize_every_field() {
+        let s = ScanStats {
+            events_matched: 1,
+            events_scanned: 2,
+            chunks_decoded: 3,
+            chunks_skipped: 4,
+            chunks_cached: 5,
+            chunks_damaged: 6,
+        };
+        let v = scan_stats_to_json(&s);
+        assert_eq!(v["events_matched"].as_u64(), Some(1));
+        assert_eq!(v["chunks_damaged"].as_u64(), Some(6));
+        assert_eq!(
+            serde_json::to_string(&v).unwrap(),
+            r#"{"events_matched":1,"events_scanned":2,"chunks_decoded":3,"chunks_skipped":4,"chunks_cached":5,"chunks_damaged":6}"#
+        );
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod events;
 pub mod harness;
+pub mod json;
 pub mod objects;
 pub mod paraver;
 pub mod query;

@@ -23,6 +23,7 @@
 
 pub mod cluster;
 pub mod curve;
+pub mod digest;
 pub mod engine;
 pub mod fold;
 pub mod instances;
@@ -31,6 +32,7 @@ pub mod pool;
 
 pub use cluster::{cluster_by_duration, DurationCluster};
 pub use curve::MonotoneCurve;
+pub use digest::{config_digest, fold_request_digest, Fnv64};
 pub use engine::{fold_regions, fold_regions_source, RegionRequest, FOLD_KINDS};
 pub use fold::{
     fold_region, fold_region_source, FitModel, FoldError, FoldedCounter, FoldedRegion,

@@ -1,0 +1,136 @@
+//! Fold-result memoization.
+//!
+//! Folding is the service's expensive operation — two full predicate
+//! scans plus the fitting pipeline — while its result for a given
+//! (trace identity, region set, config) is immutable: stores are
+//! write-once and the engine is deterministic at any thread count.
+//! So the finished *response body* is cached verbatim, keyed by the
+//! request digest ([`mempersp_folding::fold_request_digest`]), and a
+//! repeat fold costs one hash and one map probe.
+//!
+//! Bodies are shared as `Arc<String>` so a hit never copies the
+//! (potentially large) JSON. The map is LRU-bounded: fold responses
+//! for many-region traces can reach megabytes, and an unbounded memo
+//! would be a slow memory leak in a long-running service.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Snapshot of the memo counters, consumed by `/metrics` and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// `digest -> (last-use stamp, body)`.
+    map: HashMap<u64, (u64, Arc<String>)>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe memo of finished fold response bodies.
+pub struct FoldMemo {
+    cap: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FoldMemo {
+    /// `cap` = maximum number of memoized bodies (≥ 1).
+    pub fn new(cap: usize) -> FoldMemo {
+        FoldMemo {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a finished body. Counts a hit or a miss.
+    pub fn get(&self, digest: u64) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().expect("memo poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&digest) {
+            Some((stamp, body)) => {
+                *stamp = tick;
+                let body = Arc::clone(body);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a finished body, evicting the least-recently-used entry
+    /// at capacity.
+    pub fn insert(&self, digest: u64, body: Arc<String>) {
+        let mut inner = self.inner.lock().expect("memo poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&digest) && inner.map.len() >= self.cap {
+            if let Some(&victim) =
+                inner.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(digest, (tick, body));
+    }
+
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("memo poisoned").map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_same_body() {
+        let memo = FoldMemo::new(4);
+        assert!(memo.get(1).is_none());
+        memo.insert(1, Arc::new("body".to_string()));
+        let got = memo.get(1).unwrap();
+        assert_eq!(*got, "body");
+        assert_eq!(memo.stats(), MemoStats { hits: 1, misses: 1, entries: 1 });
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let memo = FoldMemo::new(2);
+        memo.insert(1, Arc::new("a".into()));
+        memo.insert(2, Arc::new("b".into()));
+        memo.get(1); // 2 is now the LRU
+        memo.insert(3, Arc::new("c".into()));
+        assert!(memo.get(1).is_some());
+        assert!(memo.get(2).is_none(), "LRU entry should have been evicted");
+        assert!(memo.get(3).is_some());
+        assert_eq!(memo.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let memo = FoldMemo::new(2);
+        memo.insert(1, Arc::new("a".into()));
+        memo.insert(2, Arc::new("b".into()));
+        memo.insert(2, Arc::new("b2".into()));
+        assert_eq!(*memo.get(2).unwrap(), "b2");
+        assert!(memo.get(1).is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! A small fixed-size worker pool over `std::sync::mpsc`.
+//!
+//! Admission control happens *before* a job is submitted (at accept
+//! time, against the in-flight gauge), so the channel never holds
+//! more than `max_inflight` connections and the pool itself needs no
+//! queue bound. Dropping the pool closes the channel; every worker
+//! drains what it already took and exits, which is exactly the
+//! graceful-shutdown drain.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub struct Pool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("mempersp-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        Pool { tx: Some(tx), workers }
+    }
+
+    /// Hand a job to the pool. Panics if called after [`Pool::join`]
+    /// — the accept loop stops submitting before it drops the pool.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool already joined")
+            .send(Box::new(job))
+            .expect("worker pool hung up");
+    }
+
+    /// Close the channel and wait for every worker to finish the jobs
+    /// already submitted.
+    pub fn join(mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while *taking* a job, never while
+        // running one, so workers drain the queue concurrently.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = Pool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn join_waits_for_inflight_jobs() {
+        let pool = Pool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 4, "join must drain the queue");
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        // With 4 workers, 4 jobs that each wait for the others to
+        // start must all be in flight at once or this deadlocks.
+        let pool = Pool::new(4);
+        let started = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let started = Arc::clone(&started);
+            pool.execute(move || {
+                started.fetch_add(1, Ordering::SeqCst);
+                while started.load(Ordering::SeqCst) < 4 {
+                    std::thread::yield_now();
+                }
+            });
+        }
+        pool.join();
+        assert_eq!(started.load(Ordering::SeqCst), 4);
+    }
+}

@@ -39,11 +39,28 @@ struct Shard {
     tick: u64,
 }
 
-/// Hit/miss counters, for reporting and tests.
+/// Hit/miss/eviction counters, for reporting and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries displaced by LRU pressure (reinsertions don't count).
+    pub evictions: u64,
+    /// Distinct insertions, so occupancy churn is derivable.
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Element-wise sum, for aggregating shards of a [`ShardedReader`]
+    /// or every store in a repository.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            insertions: self.insertions + other.insertions,
+        }
+    }
 }
 
 /// The sharded block cache.
@@ -52,6 +69,8 @@ pub struct ShardedCache {
     cap_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
 }
 
 impl ShardedCache {
@@ -64,6 +83,8 @@ impl ShardedCache {
             cap_per_shard: cfg.chunks_per_shard.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
         }
     }
 
@@ -95,10 +116,14 @@ impl ShardedCache {
         let mut s = self.shard(key).lock().expect("cache shard poisoned");
         s.tick += 1;
         let tick = s.tick;
-        if !s.map.contains_key(&key) && s.map.len() >= self.cap_per_shard {
-            if let Some((&victim, _)) = s.map.iter().min_by_key(|(_, (stamp, _))| *stamp) {
-                s.map.remove(&victim);
+        if !s.map.contains_key(&key) {
+            if s.map.len() >= self.cap_per_shard {
+                if let Some((&victim, _)) = s.map.iter().min_by_key(|(_, (stamp, _))| *stamp) {
+                    s.map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
+            self.insertions.fetch_add(1, Ordering::Relaxed);
         }
         s.map.insert(key, (tick, value));
     }
@@ -116,6 +141,8 @@ impl ShardedCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
         }
     }
 }
@@ -150,6 +177,19 @@ mod tests {
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
         assert_eq!(c.len(), 2);
+        let s = c.stats();
+        assert_eq!(s.evictions, 1, "exactly one entry was displaced");
+        assert_eq!(s.insertions, 3);
+    }
+
+    #[test]
+    fn merged_sums_every_counter() {
+        let a = CacheStats { hits: 1, misses: 2, evictions: 3, insertions: 4 };
+        let b = CacheStats { hits: 10, misses: 20, evictions: 30, insertions: 40 };
+        assert_eq!(
+            a.merged(b),
+            CacheStats { hits: 11, misses: 22, evictions: 33, insertions: 44 }
+        );
     }
 
     #[test]
@@ -161,6 +201,7 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c.get(1).is_some());
         assert_eq!(c.get(2).unwrap()[0], 22);
+        assert_eq!(c.stats().evictions, 0, "overwrite is not an eviction");
     }
 
     #[test]

@@ -61,6 +61,7 @@
 //! v1 and v2 files remain readable (without per-chunk checksums).
 
 pub mod cache;
+pub mod cancel;
 pub mod chunk;
 pub mod codec;
 pub mod crc;
@@ -75,6 +76,7 @@ pub mod varint;
 pub mod writer;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
+pub use cancel::CancelToken;
 pub use chunk::{ChunkFrame, ChunkMeta, Compression, FRAME_LEN};
 pub use crc::{crc32c, Crc32c};
 pub use fault::{FailingFile, FaultConfig, FaultPlan, StoreFile};

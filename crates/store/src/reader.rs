@@ -41,6 +41,7 @@
 //!   forward-scanning the self-delimiting chunk frames.
 
 use crate::cache::{CacheConfig, CacheStats, ShardedCache};
+use crate::cancel::CancelToken;
 use crate::chunk::{ChunkFrame, ChunkMeta, Compression, FRAME_LEN};
 use crate::codec::{decode_events, scan_events_v2, DecodeScratch};
 use crate::crc::{crc32c, Crc32c};
@@ -527,11 +528,13 @@ impl StoreReader {
         candidates: &[usize],
         q: &Query,
         skipped: u64,
+        cancel: &CancelToken,
     ) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
         let mut stats = ScanStats { chunks_skipped: skipped, ..Default::default() };
         let mut scratch = DecodeScratch::default();
         let mut out = Vec::new();
         for &idx in candidates {
+            cancel.check()?;
             self.scan_chunk(idx, q, &mut scratch, &mut out, &mut stats)?;
         }
         Ok((out, stats))
@@ -540,8 +543,19 @@ impl StoreReader {
     /// Run a query sequentially. Returns matching events in stored
     /// (trace) order plus the scan's cost accounting.
     pub fn query(&self, q: &Query) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        self.query_cancel(q, &CancelToken::new())
+    }
+
+    /// [`StoreReader::query`] with a cancellation token checked at
+    /// every chunk boundary. An expired deadline surfaces as
+    /// `ErrorKind::TimedOut`, an explicit cancel as `Interrupted`.
+    pub fn query_cancel(
+        &self,
+        q: &Query,
+        cancel: &CancelToken,
+    ) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
         let (candidates, skipped) = self.candidates(q);
-        self.scan_candidates(&candidates, q, skipped)
+        self.scan_candidates(&candidates, q, skipped, cancel)
     }
 
     /// Run a query with the surviving chunks spread over `threads`
@@ -551,10 +565,21 @@ impl StoreReader {
     /// Below [`PARALLEL_MIN_CHUNKS`] surviving chunks the scan runs
     /// sequentially — at that size thread spawn + merge dominates.
     pub fn query_parallel(&self, q: &Query, threads: usize) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        self.query_parallel_cancel(q, threads, &CancelToken::new())
+    }
+
+    /// [`StoreReader::query_parallel`] with a cancellation token; every
+    /// worker checks it at its own chunk boundaries.
+    pub fn query_parallel_cancel(
+        &self,
+        q: &Query,
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
         let (candidates, skipped) = self.candidates(q);
         let threads = threads.clamp(1, candidates.len().max(1));
         if threads <= 1 || candidates.len() < PARALLEL_MIN_CHUNKS {
-            return self.scan_candidates(&candidates, q, skipped);
+            return self.scan_candidates(&candidates, q, skipped, cancel);
         }
 
         let per_worker = candidates.len().div_ceil(threads);
@@ -567,6 +592,7 @@ impl StoreReader {
                         let mut scratch = DecodeScratch::default();
                         let mut out = Vec::new();
                         for &idx in slice {
+                            cancel.check()?;
                             self.scan_chunk(idx, q, &mut scratch, &mut out, &mut stats)?;
                         }
                         Ok((out, stats))
@@ -597,6 +623,16 @@ impl StoreReader {
     /// order. The shared [`ScanStats`] counts each surviving chunk's
     /// decode and scan once (`events_matched` sums across queries).
     pub fn query_multi(&self, qs: &[Query]) -> io::Result<(Vec<Vec<TraceEvent>>, ScanStats)> {
+        self.query_multi_cancel(qs, &CancelToken::new())
+    }
+
+    /// [`StoreReader::query_multi`] with a cancellation token checked
+    /// at every chunk boundary.
+    pub fn query_multi_cancel(
+        &self,
+        qs: &[Query],
+        cancel: &CancelToken,
+    ) -> io::Result<(Vec<Vec<TraceEvent>>, ScanStats)> {
         let mut stats = ScanStats::default();
         let mut outs: Vec<Vec<TraceEvent>> = qs.iter().map(|_| Vec::new()).collect();
         if qs.is_empty() {
@@ -606,6 +642,7 @@ impl StoreReader {
         let mut scratch = DecodeScratch::default();
         let mut events = Vec::new();
         for (idx, m) in self.metas.iter().enumerate() {
+            cancel.check()?;
             if !qs.iter().any(|q| m.may_match(q)) {
                 stats.chunks_skipped += 1;
                 continue;

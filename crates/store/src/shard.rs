@@ -42,7 +42,8 @@
 //! threads and concatenates per-shard results in shard order, so a
 //! sharded query returns exactly what the unsharded one would.
 
-use crate::cache::CacheConfig;
+use crate::cache::{CacheConfig, CacheStats};
+use crate::cancel::CancelToken;
 use crate::reader::{RecoveryMode, StoreReader};
 use crate::writer::{
     sync_parent_dir, tmp_path, StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES,
@@ -424,6 +425,14 @@ impl ShardedReader {
         self.shards.iter().map(StoreReader::chunks_decoded_total).sum()
     }
 
+    /// Block-cache counters summed over every shard's cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .map(StoreReader::cache_stats)
+            .fold(CacheStats::default(), CacheStats::merged)
+    }
+
     fn merge(parts: Vec<(Vec<TraceEvent>, ScanStats)>) -> (Vec<TraceEvent>, ScanStats) {
         let mut out = Vec::new();
         let mut stats = ScanStats::default();
@@ -441,9 +450,19 @@ impl ShardedReader {
 
     /// Run a query over every shard in order.
     pub fn query(&self, q: &Query) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        self.query_cancel(q, &CancelToken::new())
+    }
+
+    /// [`ShardedReader::query`] with a cancellation token checked at
+    /// every chunk boundary of every shard.
+    pub fn query_cancel(
+        &self,
+        q: &Query,
+        cancel: &CancelToken,
+    ) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
         let mut parts = Vec::with_capacity(self.shards.len());
         for s in &self.shards {
-            parts.push(s.query(q)?);
+            parts.push(s.query_cancel(q, cancel)?);
         }
         Ok(Self::merge(parts))
     }
@@ -486,10 +505,19 @@ impl ShardedReader {
     /// One pass per shard, every query routed; per-query results keep
     /// global (shard, then trace) order.
     pub fn query_multi(&self, qs: &[Query]) -> io::Result<(Vec<Vec<TraceEvent>>, ScanStats)> {
+        self.query_multi_cancel(qs, &CancelToken::new())
+    }
+
+    /// [`ShardedReader::query_multi`] with a cancellation token.
+    pub fn query_multi_cancel(
+        &self,
+        qs: &[Query],
+        cancel: &CancelToken,
+    ) -> io::Result<(Vec<Vec<TraceEvent>>, ScanStats)> {
         let mut outs: Vec<Vec<TraceEvent>> = qs.iter().map(|_| Vec::new()).collect();
         let mut stats = ScanStats::default();
         for s in &self.shards {
-            let (parts, p) = s.query_multi(qs)?;
+            let (parts, p) = s.query_multi_cancel(qs, cancel)?;
             for (out, part) in outs.iter_mut().zip(parts) {
                 out.extend(part);
             }

@@ -3,7 +3,8 @@
 //! object stats, the CLI) accept any container without caring which
 //! one they got.
 
-use crate::cache::CacheConfig;
+use crate::cache::{CacheConfig, CacheStats};
+use crate::cancel::CancelToken;
 use crate::reader::{RecoveryMode, StoreReader};
 use crate::shard::{is_shard_dir, ShardedReader};
 use mempersp_extrae::events::TraceEvent;
@@ -102,6 +103,37 @@ impl MpsSource {
         match &self.inner {
             Inner::Single(r) => r.query(q),
             Inner::Sharded(s) => s.query(q),
+        }
+    }
+
+    /// [`MpsSource::query`] with a cancellation token checked at every
+    /// chunk boundary.
+    pub fn query_cancel(
+        &self,
+        q: &Query,
+        cancel: &CancelToken,
+    ) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
+        match &self.inner {
+            Inner::Single(r) => r.query_cancel(q, cancel),
+            Inner::Sharded(s) => s.query_cancel(q, cancel),
+        }
+    }
+
+    /// Block-cache counters (summed across shards for a sharded store).
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.inner {
+            Inner::Single(r) => r.cache_stats(),
+            Inner::Sharded(s) => s.cache_stats(),
+        }
+    }
+
+    /// Store format version (the max across shards for a sharded store).
+    pub fn format_version(&self) -> u32 {
+        match &self.inner {
+            Inner::Single(r) => r.format_version(),
+            Inner::Sharded(s) => {
+                s.shard_readers().map(|(_, r)| r.format_version()).max().unwrap_or(0)
+            }
         }
     }
 

@@ -15,6 +15,8 @@
 //!   with predicate-pushdown queries and a sharded block cache;
 //! * [`folding`] — the Folding mechanism that turns sparse samples from
 //!   repetitive regions into one detailed synthetic instance;
+//! * [`server`] — the long-running trace-analysis service: an HTTP/1.1
+//!   + JSON query/fold server over a repository of `.mps` stores;
 //! * [`hpcg`] — the HPCG 3.0 benchmark reimplementation used in the
 //!   paper's evaluation;
 //! * [`workloads`] — additional instrumented kernels;
@@ -38,5 +40,6 @@ pub use mempersp_folding as folding;
 pub use mempersp_hpcg as hpcg;
 pub use mempersp_memsim as memsim;
 pub use mempersp_pebs as pebs;
+pub use mempersp_server as server;
 pub use mempersp_store as store;
 pub use mempersp_workloads as workloads;

@@ -1,0 +1,351 @@
+//! End-to-end checks of the trace-analysis service: a real server on
+//! an ephemeral port, driven by plain `TcpStream` clients.
+//!
+//! The acceptance criteria under test:
+//!
+//! * concurrent clients mixing `/v1/traces`, `/v1/query` and
+//!   `/v1/fold` get answers **byte-identical** to the batch path
+//!   (the same `MpsSource` query + `event_to_json` schema the
+//!   `mempersp query --json` CLI emits);
+//! * a repeated fold is answered from the memo (`X-Memo: hit`) with a
+//!   byte-identical body;
+//! * a corrupt store yields `502` plus a damage summary — the server
+//!   must survive, never panic;
+//! * overload yields `429` at admission, and the slot is reusable
+//!   after the hogging client goes away;
+//! * an expired deadline yields `503`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use mempersp::core::{Machine, MachineConfig};
+use mempersp::extrae::json::{event_to_json, query_from_json};
+use mempersp::hpcg::{HpcgConfig, HpcgWorkload};
+use mempersp::server::{start, ServerConfig};
+use mempersp::store::{write_store_chunked, MpsSource, RecoveryMode};
+use mempersp::workloads::StreamTriad;
+
+/// One shared repository: an HPCG store, a STREAM store, and a
+/// deliberately corrupted copy of the HPCG store.
+fn repo() -> &'static PathBuf {
+    static CELL: OnceLock<PathBuf> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("mempersp_srv_it_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut mcfg = MachineConfig::small();
+        mcfg.cores = 2;
+        mcfg.counter_sample_period = 20_000;
+        let mut w = HpcgWorkload::new(HpcgConfig {
+            nx: 8,
+            max_iters: 3,
+            mg_levels: 3,
+            group_allocations: true,
+            use_mg: true,
+        });
+        let hpcg = Machine::new(mcfg).run(&mut w);
+        write_store_chunked(&dir.join("hpcg.mps"), &hpcg.trace, 8 * 1024).unwrap();
+
+        let stream = Machine::new(MachineConfig::small()).run(&mut StreamTriad::new(1 << 13, 3));
+        write_store_chunked(&dir.join("stream.mps"), &stream.trace, 8 * 1024).unwrap();
+
+        // A corrupt sibling: same bytes, one flipped in the chunk
+        // region (far enough from the end to sit in a payload).
+        std::fs::copy(dir.join("hpcg.mps"), dir.join("bad.mps")).unwrap();
+        mempersp::server::repo::flip_byte_for_tests(&dir.join("bad.mps"), 2000).unwrap();
+        dir
+    })
+}
+
+fn launch(max_inflight: usize, workers: usize, timeout_ms: u64) -> mempersp::server::ServerHandle {
+    let cfg = ServerConfig {
+        root: repo().clone(),
+        addr: "127.0.0.1:0".to_string(),
+        max_inflight,
+        timeout_ms,
+        workers,
+        memo_cap: 16,
+    };
+    start(&cfg).unwrap()
+}
+
+/// A minimal HTTP/1.1 client: one request, read to EOF (the server
+/// closes every connection), de-chunk if needed.
+fn http(addr: SocketAddr, method: &str, target: &str, body: Option<&str>) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        s,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let raw = String::from_utf8(raw).unwrap();
+    let (head, payload) = raw.split_once("\r\n\r\n").expect("no header terminator");
+    let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+    let body = if head.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+        let mut rest = payload;
+        let mut out = String::new();
+        while let Some((size_line, tail)) = rest.split_once("\r\n") {
+            let size = usize::from_str_radix(size_line.trim(), 16).unwrap();
+            if size == 0 {
+                break;
+            }
+            out.push_str(&tail[..size]);
+            rest = &tail[size + 2..];
+        }
+        out
+    } else {
+        payload.to_string()
+    };
+    (status, head.to_string(), body)
+}
+
+/// The reference answer for a query request: open the store directly
+/// (the batch path) and serialize through the same canonical schema
+/// as `mempersp query --json`.
+fn reference_events(store: &str, query_json: &str) -> Vec<String> {
+    let src = MpsSource::open_with_options(
+        &repo().join(store),
+        RecoveryMode::Strict,
+        true,
+    )
+    .unwrap();
+    let q = query_from_json(&serde_json::from_str(query_json).unwrap()).unwrap();
+    let (events, _) = src.query(&q).unwrap();
+    events.iter().map(|e| serde_json::to_string(&event_to_json(e)).unwrap()).collect()
+}
+
+/// Pull the serialized elements of the response's `events` array.
+fn response_events(body: &str) -> Vec<String> {
+    let v = serde_json::from_str(body).unwrap();
+    v.get("events")
+        .and_then(|e| e.as_array())
+        .unwrap_or_else(|| panic!("no events array in {body}"))
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap())
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_the_batch_path() {
+    let handle = launch(16, 4, 30_000);
+    let addr = handle.addr();
+
+    // Four clients, each with its own predicate mix, all hammering
+    // the same two stores concurrently.
+    let cases: Vec<(&str, &str)> = vec![
+        ("hpcg.mps", r#"{"kinds":["ENTER","EXIT"]}"#),
+        ("hpcg.mps", r#"{"kinds":["PEBS"],"cores":[1]}"#),
+        ("stream.mps", r#"{"kinds":["SAMP"]}"#),
+        ("stream.mps", r#"{}"#),
+    ];
+    let threads: Vec<_> = cases
+        .into_iter()
+        .map(|(store, qjson)| {
+            std::thread::spawn(move || {
+                for round in 0..3 {
+                    // The listing must always show all three stores.
+                    let (status, _, body) = http(addr, "GET", "/v1/traces", None);
+                    assert_eq!(status, 200);
+                    assert!(body.contains("hpcg.mps") && body.contains("stream.mps"), "{body}");
+
+                    let req = format!("{{\"trace\":\"{store}\",\"query\":{qjson}}}");
+                    let (status, _, body) = http(addr, "POST", "/v1/query", Some(&req));
+                    assert_eq!(status, 200, "round {round}: {body}");
+                    let got = response_events(&body);
+                    let want = reference_events(store, qjson);
+                    assert_eq!(got.len(), want.len(), "round {round} {store} {qjson}");
+                    assert_eq!(got, want, "server answer diverged from the batch path");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Pagination is a window over the same ordered result.
+    let all = reference_events("hpcg.mps", r#"{"kinds":["ENTER","EXIT"]}"#);
+    let req = r#"{"trace":"hpcg.mps","query":{"kinds":["ENTER","EXIT"]},"offset":5,"limit":7}"#;
+    let (status, _, body) = http(addr, "POST", "/v1/query", Some(req));
+    assert_eq!(status, 200);
+    let page = response_events(&body);
+    assert_eq!(page, all[5..12].to_vec());
+    let v = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.get("total_matched").and_then(|x| x.as_u64()), Some(all.len() as u64));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn folds_are_memoized_and_byte_identical_across_clients() {
+    let handle = launch(16, 4, 60_000);
+    let addr = handle.addr();
+    let req = r#"{"trace":"hpcg.mps","points":16}"#;
+
+    // Cold fold: computed, marked as a miss.
+    let (status, head, first_body) = http(addr, "POST", "/v1/fold", Some(req));
+    assert_eq!(status, 200, "{first_body}");
+    assert!(head.contains("X-Memo: miss"), "{head}");
+    assert!(first_body.contains("\"regions\""));
+
+    // Four concurrent repeats: every one a memo hit, every body
+    // byte-identical to the cold result.
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let expect = first_body.clone();
+            std::thread::spawn(move || {
+                let (status, head, body) = http(addr, "POST", "/v1/fold", Some(req));
+                assert_eq!(status, 200);
+                assert!(head.contains("X-Memo: hit"), "{head}");
+                assert_eq!(body, expect, "memoized body must be byte-identical");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // A different region set (or resolution) is a different memo key.
+    let (status, head, _) =
+        http(addr, "POST", "/v1/fold", Some(r#"{"trace":"hpcg.mps","points":8}"#));
+    assert_eq!(status, 200);
+    assert!(head.contains("X-Memo: miss"), "{head}");
+
+    // The memo hits are visible on /metrics.
+    let (_, _, metrics) = http(addr, "GET", "/metrics", None);
+    let hits: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with("mempersp_fold_memo_hits_total"))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert!(hits >= 4, "expected >=4 memo hits, got {hits}\n{metrics}");
+    assert!(metrics.contains("mempersp_block_cache_hits_total"));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn corrupt_store_is_502_with_damage_summary_and_server_survives() {
+    let handle = launch(8, 2, 30_000);
+    let addr = handle.addr();
+
+    let (status, _, body) = http(addr, "POST", "/v1/query", Some(r#"{"trace":"bad.mps"}"#));
+    assert_eq!(status, 502, "{body}");
+    assert!(body.contains("damage"), "{body}");
+    assert!(body.contains("error"), "{body}");
+
+    // Folding the damaged store must degrade the same way.
+    let (status, _, body) = http(addr, "POST", "/v1/fold", Some(r#"{"trace":"bad.mps"}"#));
+    assert_eq!(status, 502, "{body}");
+
+    // The service took the hit gracefully: still serving.
+    let (status, _, _) = http(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let (status, _, body) = http(addr, "POST", "/v1/query", Some(r#"{"trace":"hpcg.mps","limit":1}"#));
+    assert_eq!(status, 200, "{body}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn overload_is_429_and_the_slot_recovers() {
+    let handle = launch(1, 1, 30_000);
+    let addr = handle.addr();
+
+    // Occupy the only slot: connect and send nothing. Admission
+    // happens at accept, so the slot is taken the moment the server
+    // accepts, even though no request bytes ever arrive.
+    let hog = TcpStream::connect(addr).unwrap();
+    // Give the accept loop time to take the slot.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let mut saw_429 = false;
+    while std::time::Instant::now() < deadline {
+        let (status, _, body) = http(addr, "GET", "/healthz", None);
+        if status == 429 {
+            assert!(body.contains("in-flight"), "{body}");
+            saw_429 = true;
+            break;
+        }
+        // The hog's accept may not have happened yet; retry.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(saw_429, "never saw a 429 while the only slot was hogged");
+
+    // Release the slot; the server must recover.
+    drop(hog);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let mut recovered = false;
+    while std::time::Instant::now() < deadline {
+        let (status, _, _) = http(addr, "GET", "/healthz", None);
+        if status == 200 {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(recovered, "slot never freed after the hogging client left");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn expired_deadline_is_503() {
+    // Deterministic deadline test: drive the router directly with an
+    // already-expired per-request budget (the socket layer adds
+    // nothing to this path).
+    use mempersp::server::http::Request;
+    use mempersp::server::router::{handle, App};
+
+    let app = App::new(repo(), Some(std::time::Duration::ZERO), 4).unwrap();
+    let req = Request {
+        method: "POST".into(),
+        path: "/v1/query".into(),
+        query_string: String::new(),
+        headers: Vec::new(),
+        body: br#"{"trace":"hpcg.mps"}"#.to_vec(),
+    };
+    let (_, resp) = handle(&app, &req);
+    assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+    assert!(String::from_utf8_lossy(&resp.body).contains("deadline"));
+
+    let fold = Request {
+        method: "POST".into(),
+        path: "/v1/fold".into(),
+        query_string: String::new(),
+        headers: Vec::new(),
+        body: br#"{"trace":"hpcg.mps"}"#.to_vec(),
+    };
+    let (_, resp) = handle(&app, &fold);
+    assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+}
+
+#[test]
+fn unknown_endpoints_and_bad_input_over_the_wire() {
+    let handle = launch(8, 2, 30_000);
+    let addr = handle.addr();
+
+    let (status, _, _) = http(addr, "GET", "/v2/everything", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = http(addr, "DELETE", "/v1/fold", None);
+    assert_eq!(status, 405);
+    let (status, _, body) = http(addr, "POST", "/v1/query", Some("{oops"));
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid JSON"), "{body}");
+    let (status, _, _) = http(addr, "POST", "/v1/query", Some(r#"{"trace":"nope.mps"}"#));
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    handle.join();
+}
