@@ -145,6 +145,7 @@ pub fn host_info() -> serde_json::Value {
         "cpu_model": cpu_model(),
         "virtualized": is_virtualized(),
         "peak_rss_bytes": peak_rss_bytes(),
+        "simd": mempersp_store::simd_level_name(),
     })
 }
 

@@ -57,7 +57,7 @@ fn usage() -> ! {
          mempersp export <trace> [--dir <dir>] [--prefix <name>]\n  \
          mempersp profile <trace>\n  \
          mempersp convert <trace> -o <out.prv|out.mps|out.mps.d> \
-         [--shard-events N] [--threads N|auto] [--force]\n  \
+         [--format v3|v4] [--shard-events N] [--threads N|auto] [--force]\n  \
          mempersp query <trace> [--time lo:hi] [--cores 0,2] [--kinds ENTER,PEBS] \
          [--object N] [--threads N|auto] [--print N] [--json] [--stats] [--no-verify]\n  \
          mempersp serve --root <repo-dir> [--addr host:port] [--max-inflight N] \
@@ -333,9 +333,10 @@ fn load(args: &[String]) -> Trace {
 
 fn print_scan_stats(stats: &ScanStats) {
     eprintln!(
-        "scan: {} matched / {} scanned events; chunks: {} decoded, {} cached, {} skipped{}",
+        "scan: {} matched / {} scanned events; {} payload bytes; chunks: {} decoded, {} cached, {} skipped{}",
         stats.events_matched,
         stats.events_scanned,
+        stats.payload_bytes_decoded,
         stats.chunks_decoded,
         stats.chunks_cached,
         stats.chunks_skipped,
@@ -363,6 +364,14 @@ fn cmd_convert(args: &[String]) {
     }
     let t = load(args);
     let threads = threads_arg(args);
+    let format = match arg_value(args, "--format").as_deref() {
+        None | Some("v4") => mempersp_store::StoreFormat::V4,
+        Some("v3") => mempersp_store::StoreFormat::V3,
+        Some(other) => {
+            eprintln!("--format expects v3 or v4, got {other:?}");
+            exit(1);
+        }
+    };
     let shard_events: Option<u64> =
         arg_value(args, "--shard-events").map(|v| {
             v.parse().unwrap_or_else(|_| {
@@ -377,6 +386,10 @@ fn cmd_convert(args: &[String]) {
         );
     };
     let result = if shard_events.is_some() || out.ends_with(SHARD_DIR_SUFFIX) {
+        if format != mempersp_store::StoreFormat::V4 {
+            eprintln!("convert: --format v3 is only supported for single-file .mps output");
+            exit(1);
+        }
         let per_shard = shard_events.unwrap_or(mempersp_store::shard::DEFAULT_EVENTS_PER_SHARD);
         mempersp_store::write_store_sharded(
             out_path,
@@ -387,11 +400,12 @@ fn cmd_convert(args: &[String]) {
         )
         .map(report)
     } else if out.ends_with(".mps") {
-        mempersp_store::write_store_with(
+        mempersp_store::write_store_format(
             out_path,
             &t,
             mempersp_store::DEFAULT_CHUNK_BYTES,
             threads,
+            format,
         )
         .map(report)
     } else {

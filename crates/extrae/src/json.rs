@@ -83,6 +83,7 @@ pub fn scan_stats_to_json(s: &ScanStats) -> Value {
         "chunks_skipped": s.chunks_skipped,
         "chunks_cached": s.chunks_cached,
         "chunks_damaged": s.chunks_damaged,
+        "payload_bytes_decoded": s.payload_bytes_decoded,
     })
 }
 
@@ -311,13 +312,14 @@ mod tests {
             chunks_skipped: 4,
             chunks_cached: 5,
             chunks_damaged: 6,
+            payload_bytes_decoded: 7,
         };
         let v = scan_stats_to_json(&s);
         assert_eq!(v["events_matched"].as_u64(), Some(1));
         assert_eq!(v["chunks_damaged"].as_u64(), Some(6));
         assert_eq!(
             serde_json::to_string(&v).unwrap(),
-            r#"{"events_matched":1,"events_scanned":2,"chunks_decoded":3,"chunks_skipped":4,"chunks_cached":5,"chunks_damaged":6}"#
+            r#"{"events_matched":1,"events_scanned":2,"chunks_decoded":3,"chunks_skipped":4,"chunks_cached":5,"chunks_damaged":6,"payload_bytes_decoded":7}"#
         );
     }
 }

@@ -35,6 +35,11 @@ pub struct ScanStats {
     /// truncation, decode failure) — nonzero only for salvage-mode
     /// scans over a corrupted store.
     pub chunks_damaged: u64,
+    /// Payload-section bytes the decoder actually read (0 for
+    /// in-memory sources). For a late-materializing scan (store v4)
+    /// this is strictly less than a full materialization whenever the
+    /// query's pushed-down predicates deselect whole columns.
+    pub payload_bytes_decoded: u64,
 }
 
 /// A trace opened for reading, independent of its container format.

@@ -381,6 +381,7 @@ pub fn fold_regions_source(
     stats.chunks_decoded += s2.chunks_decoded;
     stats.chunks_skipped += s2.chunks_skipped;
     stats.chunks_cached += s2.chunks_cached;
+    stats.payload_bytes_decoded += s2.payload_bytes_decoded;
 
     Ok((fold_kept(&samples, requests, prepared, threads), stats))
 }

@@ -163,6 +163,17 @@ impl Metrics {
             memo.entries as f64,
         );
 
+        // Info-style gauge: which stream-vbyte decode kernel this
+        // process selected at startup (avx2 / ssse3 / scalar).
+        out.push_str(
+            "# HELP mempersp_decode_simd Active stream-vbyte decode kernel (constant 1, level in the label).\n",
+        );
+        out.push_str("# TYPE mempersp_decode_simd gauge\n");
+        out.push_str(&format!(
+            "mempersp_decode_simd{{level=\"{}\"}} 1\n",
+            mempersp_store::simd_level_name()
+        ));
+
         out.push_str("# HELP mempersp_requests_total Requests served, by endpoint and status.\n");
         out.push_str("# TYPE mempersp_requests_total counter\n");
         let mut cells: Vec<((&'static str, u16), u64)> = self
@@ -251,6 +262,7 @@ mod tests {
             "mempersp_block_cache_evictions_total 1",
             "mempersp_fold_memo_hits_total 4",
             "mempersp_fold_memo_entries 1",
+            "mempersp_decode_simd{level=\"",
             "mempersp_requests_total{endpoint=\"/v1/query\",status=\"200\"} 1",
             "mempersp_requests_total{endpoint=\"/v1/query\",status=\"400\"} 1",
             "mempersp_request_latency_seconds_bucket{endpoint=\"/v1/query\",le=\"+Inf\"} 2",

@@ -60,7 +60,7 @@ fn get_counters(buf: &[u8], pos: &mut usize) -> Result<CounterSnapshot, CodecErr
     Ok(CounterSnapshot::from_values(vals))
 }
 
-fn level_code(l: MemLevel) -> u8 {
+pub(crate) fn level_code(l: MemLevel) -> u8 {
     match l {
         MemLevel::L1 => 0,
         MemLevel::L2 => 1,
@@ -69,7 +69,7 @@ fn level_code(l: MemLevel) -> u8 {
     }
 }
 
-fn level_from(code: u8, at: usize) -> Result<MemLevel, CodecError> {
+pub(crate) fn level_from(code: u8, at: usize) -> Result<MemLevel, CodecError> {
     match code {
         0 => Ok(MemLevel::L1),
         1 => Ok(MemLevel::L2),
@@ -256,9 +256,9 @@ fn decode_event(buf: &[u8], pos: &mut usize, prev_cycles: &mut u64) -> Result<Tr
 // ---------------------------------------------------------------- v2
 
 /// Counters carried by every region/sample event.
-const NCOUNTERS: usize = EventKind::ALL.len();
+pub(crate) const NCOUNTERS: usize = EventKind::ALL.len();
 /// Number of payload streams (one per [`EventClass`]).
-const NSTREAMS: usize = EventClass::ALL.len();
+pub(crate) const NSTREAMS: usize = EventClass::ALL.len();
 
 /// Incremental encoder of one v2 columnar chunk. The writer feeds it
 /// events one at a time; each field goes straight into its column, so
@@ -379,23 +379,48 @@ pub fn encode_events_v2(events: &[TraceEvent]) -> Vec<u8> {
     b.serialize()
 }
 
-/// Reusable column buffers for v2 decode — one per scanning thread,
-/// so a query over many chunks allocates the columns once.
+/// Per-chunk counters a columnar scan reports upward into
+/// [`ScanStats`](mempersp_extrae::trace_source::ScanStats).
+/// `payload_bytes` counts the payload-section bytes the scan actually
+/// read: v2 charges every active class stream in full; v4 charges
+/// control bytes plus only the data-byte groups a selection touched,
+/// which is what makes "filtered decodes strictly fewer payload bytes
+/// than full materialization" an assertable invariant.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOutcome {
+    pub scanned: u64,
+    pub matched: u64,
+    pub payload_bytes: u64,
+}
+
+/// Reusable column buffers for columnar decode — one per scanning
+/// thread, pooled by the reader, so a query over many chunks (and
+/// repeated queries over one reader) allocates the columns once.
 #[derive(Default)]
 pub struct DecodeScratch {
-    cycles: Vec<u64>,
-    cores: Vec<u32>,
+    pub(crate) cycles: Vec<u64>,
+    pub(crate) cores: Vec<u32>,
+    /// v4: generic stream-vbyte decode target (core ids, class columns).
+    pub(crate) tmp: Vec<u64>,
+    /// v4: selection vector of `(row, class-occurrence)` index pairs.
+    pub(crate) sel: Vec<(u32, u32)>,
+    /// v4: decoded numeric columns, per class. Indexed
+    /// `[class][column]`; inner vectors keep their capacity across
+    /// chunks and queries.
+    pub(crate) class_cols: [Vec<Vec<u64>>; NSTREAMS],
 }
 
-/// The parsed section table of a v2 chunk.
-struct Sections<'a> {
-    tags: &'a [u8],
-    deltas: &'a [u8],
-    cores: &'a [u8],
-    streams: [&'a [u8]; NSTREAMS],
+/// The parsed section table of a v2 or v4 chunk (both share the
+/// 10-uvarint length prefix and tag column; only the per-section byte
+/// encodings differ).
+pub(crate) struct Sections<'a> {
+    pub(crate) tags: &'a [u8],
+    pub(crate) deltas: &'a [u8],
+    pub(crate) cores: &'a [u8],
+    pub(crate) streams: [&'a [u8]; NSTREAMS],
 }
 
-fn split_sections(buf: &[u8], count: usize) -> Result<Sections<'_>, CodecError> {
+pub(crate) fn split_sections(buf: &[u8], count: usize) -> Result<Sections<'_>, CodecError> {
     let mut pos = 0usize;
     let deltas_len = get_u64(buf, &mut pos)? as usize;
     let cores_len = get_u64(buf, &mut pos)? as usize;
@@ -613,14 +638,14 @@ fn skip_payload(tag: u8, r: &mut varint::Reader<'_>) -> Result<(), CodecError> {
 /// predicate on each before it is emitted). Non-matching events cost a
 /// payload skip, not an allocation. With `query == None` every event
 /// is materialized — the decode path of `materialize()` and the
-/// round-trip tests. Returns `(events_scanned, events_matched)`.
+/// round-trip tests.
 pub fn scan_events_v2(
     buf: &[u8],
     count: usize,
     query: Option<&Query>,
     scratch: &mut DecodeScratch,
     out: &mut Vec<TraceEvent>,
-) -> Result<(u64, u64), CodecError> {
+) -> Result<ScanOutcome, CodecError> {
     let s = split_sections(buf, count)?;
     decode_columns(&s, count, scratch)?;
     let mut readers: [varint::Reader<'_>; NSTREAMS] = [
@@ -669,6 +694,7 @@ pub fn scan_events_v2(
             out.push(event);
         }
     }
+    let mut payload_bytes = 0u64;
     for (k, r) in readers.iter().enumerate() {
         // Streams of excluded classes were (intentionally) not walked,
         // so only the active ones can assert full consumption.
@@ -678,8 +704,11 @@ pub fn scan_events_v2(
                 message: format!("{} trailing bytes in payload stream {k}", r.remaining()),
             });
         }
+        if active[k] {
+            payload_bytes += s.streams[k].len() as u64;
+        }
     }
-    Ok((count as u64, matched))
+    Ok(ScanOutcome { scanned: count as u64, matched, payload_bytes })
 }
 
 /// Decode exactly `count` events from a v2 chunk payload.
@@ -834,12 +863,12 @@ mod tests {
         for q in &queries {
             let mut scratch = DecodeScratch::default();
             let mut got = Vec::new();
-            let (scanned, matched) =
+            let outcome =
                 scan_events_v2(&buf, evs.len(), Some(q), &mut scratch, &mut got).unwrap();
             let want: Vec<_> = evs.iter().filter(|e| q.matches(e)).cloned().collect();
             assert_eq!(got, want, "{q:?}");
-            assert_eq!(scanned, evs.len() as u64);
-            assert_eq!(matched, want.len() as u64);
+            assert_eq!(outcome.scanned, evs.len() as u64);
+            assert_eq!(outcome.matched, want.len() as u64);
         }
     }
 

@@ -1,0 +1,1026 @@
+//! The v4 chunk payload codec: stream-vbyte columns and the
+//! selection-vector scan.
+//!
+//! v4 keeps v2/v3's chunk skeleton — the 10-uvarint section table,
+//! the tag column, one payload section per event class — but every
+//! varint run becomes a [stream-vbyte column](crate::svb): a control
+//! stream that says how wide each value is and a data stream of plain
+//! little-endian bytes, decoded four values per `pshufb`. Payload
+//! sections are themselves columnar *per field* (all `ip`s, then all
+//! `addr`s, …), so a field's column can be range-decoded — or skipped
+//! entirely — without touching its neighbours:
+//!
+//! ```text
+//! chunk := section lengths (10 uvarints: deltas, cores, stream 0..7)
+//!          tags    — one byte per event, in stored order
+//!          deltas  — svb column of zig-zag timestamp deltas
+//!          cores   — svb column of core ids
+//!          stream[k] — class-k fields, one svb column per field
+//!                      (byte-wide fields — PEBS flags/level, mux
+//!                      label bytes — stay raw byte runs)
+//! ```
+//!
+//! Per-class field columns (`n` = class-k events in the chunk):
+//!
+//! * RegionEnter/Exit: `region`, 12 counter columns
+//! * CounterSample: `ip`, 12 counters, `stack_len`, then one flattened
+//!   `stack` column of Σ`stack_len` region ids
+//! * Pebs: raw `flags[n]`, `ip`, `addr`, `size`, `latency`, raw
+//!   `level[n]`, `object` (0 where absent; presence lives in `flags`)
+//! * Alloc: `base`, `size`, `callsite` — Free: `base`
+//! * MuxSwitch: `event_index`, `label_len`, raw concatenated labels
+//! * User: `kind`, `value`
+//!
+//! The scan is **late-materializing**: it decodes only the tag, delta
+//! and core columns, evaluates the pushed-down time/core/kind
+//! predicates into a selection vector of `(row, class-occurrence)`
+//! pairs, and then decodes payload columns only for classes with
+//! selected rows — and only the control-byte groups covering the
+//! selected occurrence range. `TraceEvent` records are built for
+//! selected rows alone; unfiltered scans take the classic
+//! materialize-everything path. The bytes actually read are counted
+//! into [`ScanOutcome::payload_bytes`], which is how the "filtered
+//! queries decode strictly fewer payload bytes" invariant is asserted.
+
+use crate::codec::{
+    level_code, level_from, split_sections, DecodeScratch, ScanOutcome, NCOUNTERS, NSTREAMS,
+};
+use crate::svb::{zigzag, ColBuf, SvbColumn};
+use crate::varint::{put_u64, CodecError};
+use mempersp_extrae::events::{EventPayload, RegionId, TraceEvent};
+use mempersp_extrae::objects::ObjectId;
+use mempersp_extrae::query::{EventClass, KindMask, Query};
+use mempersp_extrae::source::Ip;
+use mempersp_pebs::{CounterSnapshot, PebsSample};
+
+fn err(offset: usize, message: String) -> CodecError {
+    CodecError { offset, message }
+}
+
+// ---------------------------------------------------------------- encode
+
+#[derive(Default)]
+struct RegionCols {
+    region: ColBuf,
+    counters: [ColBuf; NCOUNTERS],
+}
+
+impl RegionCols {
+    fn push(&mut self, region: RegionId, counters: &CounterSnapshot) {
+        self.region.push(region.0 as u64);
+        for (col, v) in self.counters.iter_mut().zip(counters.values()) {
+            col.push(*v);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.region.encoded_len()
+            + self.counters.iter().map(ColBuf::encoded_len).sum::<usize>()
+    }
+
+    fn write_into(&self, out: &mut Vec<u8>) {
+        self.region.write_into(out);
+        for c in &self.counters {
+            c.write_into(out);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.region.clear();
+        for c in &mut self.counters {
+            c.clear();
+        }
+    }
+}
+
+#[derive(Default)]
+struct SampleCols {
+    ip: ColBuf,
+    counters: [ColBuf; NCOUNTERS],
+    stack_len: ColBuf,
+    stack: ColBuf,
+}
+
+#[derive(Default)]
+struct PebsCols {
+    flags: Vec<u8>,
+    ip: ColBuf,
+    addr: ColBuf,
+    size: ColBuf,
+    latency: ColBuf,
+    level: Vec<u8>,
+    object: ColBuf,
+}
+
+#[derive(Default)]
+struct AllocCols {
+    base: ColBuf,
+    size: ColBuf,
+    callsite: ColBuf,
+}
+
+#[derive(Default)]
+struct MuxCols {
+    event_index: ColBuf,
+    label_len: ColBuf,
+    labels: Vec<u8>,
+}
+
+#[derive(Default)]
+struct UserCols {
+    kind: ColBuf,
+    value: ColBuf,
+}
+
+/// Incremental encoder of one v4 chunk, the stream-vbyte counterpart
+/// of [`ChunkBuilder`](crate::codec::ChunkBuilder): the writer feeds
+/// it events one at a time, each field lands in its own column, and
+/// sealing concatenates the columns.
+#[derive(Default)]
+pub struct ChunkBuilderV4 {
+    tags: Vec<u8>,
+    deltas: ColBuf,
+    cores: ColBuf,
+    prev_cycles: u64,
+    regions: [RegionCols; 2],
+    sample: SampleCols,
+    pebs: PebsCols,
+    alloc: AllocCols,
+    free: ColBuf,
+    mux: MuxCols,
+    user: UserCols,
+}
+
+impl ChunkBuilderV4 {
+    pub fn new() -> ChunkBuilderV4 {
+        ChunkBuilderV4::default()
+    }
+
+    /// Events appended since the last [`ChunkBuilderV4::serialize`].
+    pub fn events(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Raw encoded size if the chunk were sealed now (excluding the
+    /// ~11-byte section-length prefix).
+    pub fn encoded_len(&self) -> usize {
+        self.tags.len()
+            + self.deltas.encoded_len()
+            + self.cores.encoded_len()
+            + self.regions.iter().map(RegionCols::encoded_len).sum::<usize>()
+            + self.sample.ip.encoded_len()
+            + self.sample.counters.iter().map(ColBuf::encoded_len).sum::<usize>()
+            + self.sample.stack_len.encoded_len()
+            + self.sample.stack.encoded_len()
+            + self.pebs.flags.len()
+            + self.pebs.ip.encoded_len()
+            + self.pebs.addr.encoded_len()
+            + self.pebs.size.encoded_len()
+            + self.pebs.latency.encoded_len()
+            + self.pebs.level.len()
+            + self.pebs.object.encoded_len()
+            + self.alloc.base.encoded_len()
+            + self.alloc.size.encoded_len()
+            + self.alloc.callsite.encoded_len()
+            + self.free.encoded_len()
+            + self.mux.event_index.encoded_len()
+            + self.mux.label_len.encoded_len()
+            + self.mux.labels.len()
+            + self.user.kind.encoded_len()
+            + self.user.value.encoded_len()
+    }
+
+    /// Append one event's fields to the columns.
+    pub fn push(&mut self, e: &TraceEvent) {
+        let class = EventClass::of(&e.payload);
+        self.tags.push(class as u8);
+        self.deltas.push(zigzag(e.cycles.wrapping_sub(self.prev_cycles) as i64));
+        self.prev_cycles = e.cycles;
+        self.cores.push(e.core as u64);
+        match &e.payload {
+            EventPayload::RegionEnter { region, counters } => {
+                self.regions[0].push(*region, counters);
+            }
+            EventPayload::RegionExit { region, counters } => {
+                self.regions[1].push(*region, counters);
+            }
+            EventPayload::CounterSample { ip, counters, stack } => {
+                self.sample.ip.push(ip.0);
+                for (col, v) in self.sample.counters.iter_mut().zip(counters.values()) {
+                    col.push(*v);
+                }
+                self.sample.stack_len.push(stack.len() as u64);
+                for r in stack {
+                    self.sample.stack.push(r.0 as u64);
+                }
+            }
+            EventPayload::Pebs { sample, object } => {
+                let flags = u8::from(sample.is_store)
+                    | (u8::from(sample.tlb_miss) << 1)
+                    | (u8::from(object.is_some()) << 2);
+                self.pebs.flags.push(flags);
+                self.pebs.ip.push(sample.ip);
+                self.pebs.addr.push(sample.addr);
+                self.pebs.size.push(sample.size as u64);
+                self.pebs.latency.push(sample.latency as u64);
+                self.pebs.level.push(level_code(sample.source));
+                self.pebs.object.push(object.map_or(0, |o| o.0 as u64));
+            }
+            EventPayload::Alloc { base, size, callsite } => {
+                self.alloc.base.push(*base);
+                self.alloc.size.push(*size);
+                self.alloc.callsite.push(callsite.0);
+            }
+            EventPayload::Free { base } => {
+                self.free.push(*base);
+            }
+            EventPayload::MuxSwitch { event_index, label } => {
+                self.mux.event_index.push(*event_index as u64);
+                self.mux.label_len.push(label.len() as u64);
+                self.mux.labels.extend_from_slice(label.as_bytes());
+            }
+            EventPayload::User { kind, value } => {
+                self.user.kind.push(*kind as u64);
+                self.user.value.push(*value);
+            }
+        }
+    }
+
+    fn write_stream(&self, k: usize, out: &mut Vec<u8>) {
+        match EventClass::ALL[k] {
+            EventClass::RegionEnter => self.regions[0].write_into(out),
+            EventClass::RegionExit => self.regions[1].write_into(out),
+            EventClass::CounterSample => {
+                self.sample.ip.write_into(out);
+                for c in &self.sample.counters {
+                    c.write_into(out);
+                }
+                self.sample.stack_len.write_into(out);
+                self.sample.stack.write_into(out);
+            }
+            EventClass::Pebs => {
+                out.extend_from_slice(&self.pebs.flags);
+                self.pebs.ip.write_into(out);
+                self.pebs.addr.write_into(out);
+                self.pebs.size.write_into(out);
+                self.pebs.latency.write_into(out);
+                out.extend_from_slice(&self.pebs.level);
+                self.pebs.object.write_into(out);
+            }
+            EventClass::Alloc => {
+                self.alloc.base.write_into(out);
+                self.alloc.size.write_into(out);
+                self.alloc.callsite.write_into(out);
+            }
+            EventClass::Free => self.free.write_into(out),
+            EventClass::MuxSwitch => {
+                self.mux.event_index.write_into(out);
+                self.mux.label_len.write_into(out);
+                out.extend_from_slice(&self.mux.labels);
+            }
+            EventClass::User => {
+                self.user.kind.write_into(out);
+                self.user.value.write_into(out);
+            }
+        }
+    }
+
+    fn stream_len(&self, k: usize) -> usize {
+        match EventClass::ALL[k] {
+            EventClass::RegionEnter => self.regions[0].encoded_len(),
+            EventClass::RegionExit => self.regions[1].encoded_len(),
+            EventClass::CounterSample => {
+                self.sample.ip.encoded_len()
+                    + self.sample.counters.iter().map(ColBuf::encoded_len).sum::<usize>()
+                    + self.sample.stack_len.encoded_len()
+                    + self.sample.stack.encoded_len()
+            }
+            EventClass::Pebs => {
+                self.pebs.flags.len()
+                    + self.pebs.ip.encoded_len()
+                    + self.pebs.addr.encoded_len()
+                    + self.pebs.size.encoded_len()
+                    + self.pebs.latency.encoded_len()
+                    + self.pebs.level.len()
+                    + self.pebs.object.encoded_len()
+            }
+            EventClass::Alloc => {
+                self.alloc.base.encoded_len()
+                    + self.alloc.size.encoded_len()
+                    + self.alloc.callsite.encoded_len()
+            }
+            EventClass::Free => self.free.encoded_len(),
+            EventClass::MuxSwitch => {
+                self.mux.event_index.encoded_len()
+                    + self.mux.label_len.encoded_len()
+                    + self.mux.labels.len()
+            }
+            EventClass::User => {
+                self.user.kind.encoded_len() + self.user.value.encoded_len()
+            }
+        }
+    }
+
+    /// Serialize the accumulated columns as one chunk payload and
+    /// reset the builder (buffers keep their capacity).
+    pub fn serialize(&mut self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() + 16);
+        put_u64(&mut out, self.deltas.encoded_len() as u64);
+        put_u64(&mut out, self.cores.encoded_len() as u64);
+        for k in 0..NSTREAMS {
+            put_u64(&mut out, self.stream_len(k) as u64);
+        }
+        out.extend_from_slice(&self.tags);
+        self.deltas.write_into(&mut out);
+        self.cores.write_into(&mut out);
+        for k in 0..NSTREAMS {
+            self.write_stream(k, &mut out);
+        }
+
+        self.tags.clear();
+        self.deltas.clear();
+        self.cores.clear();
+        self.prev_cycles = 0;
+        for r in &mut self.regions {
+            r.clear();
+        }
+        self.sample.ip.clear();
+        for c in &mut self.sample.counters {
+            c.clear();
+        }
+        self.sample.stack_len.clear();
+        self.sample.stack.clear();
+        self.pebs.flags.clear();
+        self.pebs.ip.clear();
+        self.pebs.addr.clear();
+        self.pebs.size.clear();
+        self.pebs.latency.clear();
+        self.pebs.level.clear();
+        self.pebs.object.clear();
+        self.alloc.base.clear();
+        self.alloc.size.clear();
+        self.alloc.callsite.clear();
+        self.free.clear();
+        self.mux.event_index.clear();
+        self.mux.label_len.clear();
+        self.mux.labels.clear();
+        self.user.kind.clear();
+        self.user.value.clear();
+        out
+    }
+}
+
+/// Encode a whole event slice as one v4 chunk payload.
+pub fn encode_events_v4(events: &[TraceEvent]) -> Vec<u8> {
+    let mut b = ChunkBuilderV4::new();
+    for e in events {
+        b.push(e);
+    }
+    b.serialize()
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Number of numeric column slots a class needs in the scratch
+/// (CounterSample: ip + 12 counters + stack_len + stack + offsets).
+fn num_cols(k: usize) -> usize {
+    match EventClass::ALL[k] {
+        EventClass::RegionEnter | EventClass::RegionExit => 1 + NCOUNTERS,
+        EventClass::CounterSample => 1 + NCOUNTERS + 2 + 1, // + stack offsets
+        EventClass::Pebs => 5,
+        EventClass::Alloc => 3,
+        EventClass::Free => 1,
+        EventClass::MuxSwitch => 2 + 1, // + label offsets
+        EventClass::User => 2,
+    }
+}
+
+/// Parse the next column and decode it — fully (`range == None`) or
+/// just the control-byte groups covering `range` — into `out`,
+/// charging the touched bytes to `bytes`. Returns the occurrence
+/// index of `out[0]`.
+fn decode_col(
+    sec: &[u8],
+    pos: &mut usize,
+    n: usize,
+    range: Option<(usize, usize)>,
+    out: &mut Vec<u64>,
+    bytes: &mut u64,
+) -> Result<usize, CodecError> {
+    let col = SvbColumn::parse(sec, pos, n)?;
+    match range {
+        None => {
+            col.decode_into(out);
+            *bytes += col.total_len() as u64;
+            Ok(0)
+        }
+        Some((lo, hi)) => {
+            let base = col.decode_range_into(lo, hi, out);
+            *bytes += (col.ctrl_len() + col.range_data_len(lo, hi)) as u64;
+            Ok(base)
+        }
+    }
+}
+
+fn take_raw<'a>(sec: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CodecError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= sec.len())
+        .ok_or_else(|| err(*pos, format!("byte column of {n} overruns section")))?;
+    let s = &sec[*pos..end];
+    *pos = end;
+    Ok(s)
+}
+
+fn expect_end(sec: &[u8], pos: usize, k: usize) -> Result<(), CodecError> {
+    if pos != sec.len() {
+        return Err(err(
+            pos,
+            format!("{} trailing bytes in payload stream {k}", sec.len() - pos),
+        ));
+    }
+    Ok(())
+}
+
+/// Exclusive-prefix offsets of a length column (`offs[j]` = start of
+/// record `j` in the flattened value column); returns the total.
+fn prefix_offsets(lens: &[u64], offs: &mut Vec<u64>) -> Result<usize, CodecError> {
+    offs.clear();
+    offs.reserve(lens.len());
+    let mut total = 0u64;
+    for (j, &l) in lens.iter().enumerate() {
+        offs.push(total);
+        total = total
+            .checked_add(l)
+            .ok_or_else(|| err(j, "length column overflows".to_string()))?;
+    }
+    usize::try_from(total).map_err(|_| err(0, "length column overflows".to_string()))
+}
+
+/// Everything the materialization loop needs about one decoded class:
+/// where its numeric columns start (`base`) and its raw byte columns.
+#[derive(Default, Clone, Copy)]
+struct ClassView<'a> {
+    base: usize,
+    raw_a: &'a [u8], // PEBS flags / mux labels
+    raw_b: &'a [u8], // PEBS level
+}
+
+/// Decode the payload columns of class `k` (fully, or the groups
+/// covering `range`) into `scratch.class_cols[k]`.
+fn decode_class<'a>(
+    k: usize,
+    sec: &'a [u8],
+    n: usize,
+    range: Option<(usize, usize)>,
+    cols: &mut [Vec<u64>],
+    tmp: &mut Vec<u64>,
+    bytes: &mut u64,
+) -> Result<ClassView<'a>, CodecError> {
+    let mut pos = 0usize;
+    let mut view = ClassView::default();
+    let raw_cols = |range: Option<(usize, usize)>, n: usize, cols: usize| -> u64 {
+        match range {
+            None => (cols * n) as u64,
+            Some((lo, hi)) => (cols * (hi.min(n).saturating_sub(lo))) as u64,
+        }
+    };
+    match EventClass::ALL[k] {
+        EventClass::RegionEnter | EventClass::RegionExit => {
+            for col in cols.iter_mut().take(1 + NCOUNTERS) {
+                view.base = decode_col(sec, &mut pos, n, range, col, bytes)?;
+            }
+        }
+        EventClass::CounterSample => {
+            // The flattened stack column's length is only known after
+            // the stack_len column decodes, so this class always
+            // decodes fully (`range` is ignored by the caller).
+            for col in cols.iter_mut().take(1 + NCOUNTERS + 1) {
+                decode_col(sec, &mut pos, n, None, col, bytes)?;
+            }
+            let (head, tail) = cols.split_at_mut(1 + NCOUNTERS + 1);
+            let total = prefix_offsets(&head[1 + NCOUNTERS], &mut tail[1])?;
+            decode_col(sec, &mut pos, total, None, &mut tail[0], bytes)?;
+        }
+        EventClass::Pebs => {
+            let flags = take_raw(sec, &mut pos, n)?;
+            for col in cols.iter_mut().take(4) {
+                view.base = decode_col(sec, &mut pos, n, range, col, bytes)?;
+            }
+            let level = take_raw(sec, &mut pos, n)?;
+            decode_col(sec, &mut pos, n, range, &mut cols[4], bytes)?;
+            *bytes += raw_cols(range, n, 2);
+            view.raw_a = flags;
+            view.raw_b = level;
+        }
+        EventClass::Alloc => {
+            for col in cols.iter_mut().take(3) {
+                view.base = decode_col(sec, &mut pos, n, range, col, bytes)?;
+            }
+        }
+        EventClass::Free => {
+            view.base = decode_col(sec, &mut pos, n, range, &mut cols[0], bytes)?;
+        }
+        EventClass::MuxSwitch => {
+            // Label offsets require the whole length column; decoded
+            // fully like CounterSample.
+            decode_col(sec, &mut pos, n, None, &mut cols[0], bytes)?;
+            decode_col(sec, &mut pos, n, None, &mut cols[1], bytes)?;
+            let (head, tail) = cols.split_at_mut(2);
+            let total = prefix_offsets(&head[1], &mut tail[0])?;
+            view.raw_a = take_raw(sec, &mut pos, total)?;
+            *bytes += total as u64;
+        }
+        EventClass::User => {
+            for col in cols.iter_mut().take(2) {
+                view.base = decode_col(sec, &mut pos, n, range, col, bytes)?;
+            }
+        }
+    }
+    // Every column walk above ends exactly at the section end: column
+    // lengths are functions of their control bytes, so any slack or
+    // shortfall is corruption.
+    expect_end(sec, pos, k)?;
+    let _ = tmp;
+    Ok(view)
+}
+
+/// Scan a v4 chunk. Decodes the tag/timestamp/core columns, builds a
+/// selection vector from the pushed-down time/core/kind predicates,
+/// then decodes payload columns only for classes — and control-byte
+/// group ranges — with selected rows, materializing just those events
+/// (the residual `Query::matches` runs on each before it is emitted).
+/// With `query == None` every section is decoded and validated — the
+/// `materialize()` / deep-verify path.
+pub fn scan_events_v4(
+    buf: &[u8],
+    count: usize,
+    query: Option<&Query>,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<TraceEvent>,
+) -> Result<ScanOutcome, CodecError> {
+    let s = split_sections(buf, count)?;
+
+    let mut pos = 0usize;
+    let dcol = SvbColumn::parse(s.deltas, &mut pos, count)?;
+    if pos != s.deltas.len() {
+        return Err(err(pos, "trailing bytes in delta column".to_string()));
+    }
+    dcol.decode_zigzag_prefix_into(0, &mut scratch.cycles);
+
+    let mut pos = 0usize;
+    let ccol = SvbColumn::parse(s.cores, &mut pos, count)?;
+    if pos != s.cores.len() {
+        return Err(err(pos, "trailing bytes in core column".to_string()));
+    }
+    ccol.decode_into(&mut scratch.tmp);
+    scratch.cores.clear();
+    scratch.cores.extend(scratch.tmp.iter().map(|&v| v as u32));
+
+    // Class populations (needed to parse any payload section).
+    let mut nk = [0usize; NSTREAMS];
+    for (i, &t) in s.tags.iter().enumerate() {
+        if t as usize >= NSTREAMS {
+            return Err(err(i, format!("unknown event tag {t}")));
+        }
+        nk[t as usize] += 1;
+    }
+
+    let (time, kinds, core_set) = match query {
+        Some(q) => (q.time, q.kinds, q.cores.as_deref()),
+        None => (None, KindMask::ALL, None),
+    };
+    let active: [bool; NSTREAMS] = std::array::from_fn(|k| kinds.0 & (1u8 << k) != 0);
+
+    // Selection pass: record (row, class-occurrence) for every row
+    // that survives the column predicates, and the occurrence hull
+    // per class so payload decode can stay range-bounded.
+    //
+    // Traces are written time-sorted, so the reconstructed cycles
+    // column is almost always non-decreasing and a time window is a
+    // contiguous row range found by binary search: rows before it
+    // only bump the occurrence counters, rows after it are never
+    // visited, and rows inside skip the per-row time compare. The
+    // format itself permits out-of-order timestamps (deltas are
+    // signed), so an unsorted column falls back to per-row checks.
+    let (ilo, ihi, row_time) = match time {
+        Some((lo, hi)) if scratch.cycles[..count].is_sorted() => {
+            let c = &scratch.cycles[..count];
+            (c.partition_point(|&x| x < lo), c.partition_point(|&x| x <= hi), None)
+        }
+        other => (0, count, other),
+    };
+    scratch.sel.clear();
+    let mut jmin = [usize::MAX; NSTREAMS];
+    let mut jmax = [0usize; NSTREAMS];
+    let mut occ = [0u32; NSTREAMS];
+    for i in 0..ilo {
+        occ[s.tags[i] as usize] += 1;
+    }
+    for i in ilo..ihi {
+        let k = s.tags[i] as usize;
+        let j = occ[k];
+        occ[k] += 1;
+        if !active[k] {
+            continue;
+        }
+        let keep = row_time.is_none_or(|(lo, hi)| {
+            let c = scratch.cycles[i];
+            c >= lo && c <= hi
+        }) && core_set.is_none_or(|cs| cs.contains(&(scratch.cores[i] as usize)));
+        if keep {
+            scratch.sel.push((i as u32, j));
+            jmin[k] = jmin[k].min(j as usize);
+            jmax[k] = j as usize;
+        }
+    }
+
+    // Payload decode: full scans touch every section (and validate
+    // classes with no events against stray bytes); filtered scans
+    // touch only classes with selected rows.
+    let full = query.is_none_or(|q| q.is_full_scan());
+    let mut payload_bytes = 0u64;
+    let mut views = [ClassView::default(); NSTREAMS];
+    for k in 0..NSTREAMS {
+        let wanted = if full { active[k] } else { jmin[k] != usize::MAX };
+        if !wanted {
+            if full && active[k] && !s.streams[k].is_empty() {
+                // full decode is the integrity path: an empty class
+                // must have an empty section
+            } else {
+                continue;
+            }
+        }
+        // Classes with flattened sub-columns can't range-decode
+        // without their whole length column; everything else decodes
+        // just the groups covering the selected occurrence hull.
+        let range = if full
+            || matches!(EventClass::ALL[k], EventClass::CounterSample | EventClass::MuxSwitch)
+        {
+            None
+        } else {
+            Some((jmin[k], jmax[k] + 1))
+        };
+        let cols = &mut scratch.class_cols[k];
+        cols.resize_with(num_cols(k), Vec::new);
+        views[k] = decode_class(
+            k,
+            s.streams[k],
+            nk[k],
+            range,
+            cols,
+            &mut scratch.tmp,
+            &mut payload_bytes,
+        )?;
+    }
+
+    // Late materialization: build TraceEvents for selected rows only.
+    // The selection pass enforced the time/core/kind predicates
+    // exactly, so the per-event residual check is only needed for the
+    // one predicate that lives in the payload: the PEBS object id.
+    let residual = query.is_some_and(|q| q.object.is_some());
+    out.reserve(scratch.sel.len());
+    let mut matched = 0u64;
+    for &(i, j) in &scratch.sel {
+        let (i, j) = (i as usize, j as usize);
+        let k = s.tags[i] as usize;
+        let cycles = scratch.cycles[i];
+        let core = scratch.cores[i] as usize;
+        let cols = &scratch.class_cols[k];
+        let jj = j - views[k].base;
+        let payload = match EventClass::ALL[k] {
+            class @ (EventClass::RegionEnter | EventClass::RegionExit) => {
+                let region = RegionId(cols[0][jj] as u32);
+                let mut vals = [0u64; NCOUNTERS];
+                for (c, v) in vals.iter_mut().enumerate() {
+                    *v = cols[1 + c][jj];
+                }
+                let counters = CounterSnapshot::from_values(vals);
+                if class == EventClass::RegionEnter {
+                    EventPayload::RegionEnter { region, counters }
+                } else {
+                    EventPayload::RegionExit { region, counters }
+                }
+            }
+            EventClass::CounterSample => {
+                let ip = Ip(cols[0][jj]);
+                let mut vals = [0u64; NCOUNTERS];
+                for (c, v) in vals.iter_mut().enumerate() {
+                    *v = cols[1 + c][jj];
+                }
+                let len = cols[1 + NCOUNTERS][jj] as usize;
+                let off = cols[1 + NCOUNTERS + 2][jj] as usize;
+                let stack =
+                    cols[1 + NCOUNTERS + 1][off..off + len].iter().map(|&r| RegionId(r as u32)).collect();
+                EventPayload::CounterSample {
+                    ip,
+                    counters: CounterSnapshot::from_values(vals),
+                    stack,
+                }
+            }
+            EventClass::Pebs => {
+                let flags = views[k].raw_a[j];
+                let source = level_from(views[k].raw_b[j], j)?;
+                let object =
+                    if flags & 0b100 != 0 { Some(ObjectId(cols[4][jj] as u32)) } else { None };
+                EventPayload::Pebs {
+                    sample: PebsSample {
+                        timestamp: cycles,
+                        core,
+                        ip: cols[0][jj],
+                        addr: cols[1][jj],
+                        size: cols[2][jj] as u32,
+                        is_store: flags & 0b001 != 0,
+                        latency: cols[3][jj] as u32,
+                        source,
+                        tlb_miss: flags & 0b010 != 0,
+                    },
+                    object,
+                }
+            }
+            EventClass::Alloc => EventPayload::Alloc {
+                base: cols[0][jj],
+                size: cols[1][jj],
+                callsite: Ip(cols[2][jj]),
+            },
+            EventClass::Free => EventPayload::Free { base: cols[0][jj] },
+            EventClass::MuxSwitch => {
+                let len = cols[1][jj] as usize;
+                let off = cols[2][jj] as usize;
+                let label = std::str::from_utf8(&views[k].raw_a[off..off + len])
+                    .map_err(|_| err(off, "mux label is not UTF-8".to_string()))?
+                    .to_string();
+                EventPayload::MuxSwitch { event_index: cols[0][jj] as usize, label }
+            }
+            EventClass::User => {
+                EventPayload::User { kind: cols[0][jj] as u32, value: cols[1][jj] }
+            }
+        };
+        let event = TraceEvent { cycles, core, payload };
+        if !residual || query.is_some_and(|q| q.matches(&event)) {
+            matched += 1;
+            out.push(event);
+        }
+    }
+    Ok(ScanOutcome { scanned: count as u64, matched, payload_bytes })
+}
+
+/// Decode exactly `count` events from a v4 chunk payload.
+pub fn decode_events_v4(buf: &[u8], count: usize) -> Result<Vec<TraceEvent>, CodecError> {
+    let mut out = Vec::with_capacity(count);
+    let mut scratch = DecodeScratch::default();
+    scan_events_v4(buf, count, None, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempersp_extrae::query::EventClass;
+    use mempersp_memsim::MemLevel;
+
+    fn events() -> Vec<TraceEvent> {
+        let c = CounterSnapshot::from_values([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        vec![
+            TraceEvent {
+                cycles: 1_000,
+                core: 0,
+                payload: EventPayload::RegionEnter { region: RegionId(3), counters: c },
+            },
+            TraceEvent {
+                cycles: 900, // out-of-order: negative delta
+                core: 1,
+                payload: EventPayload::CounterSample {
+                    ip: Ip(0x400010),
+                    counters: c,
+                    stack: vec![RegionId(0), RegionId(3)],
+                },
+            },
+            TraceEvent {
+                cycles: 1_100,
+                core: 1,
+                payload: EventPayload::Pebs {
+                    sample: PebsSample {
+                        timestamp: 1_100,
+                        core: 1,
+                        ip: 0x400020,
+                        addr: 0xDEAD_BEEF_00,
+                        size: 8,
+                        is_store: true,
+                        latency: 233,
+                        source: MemLevel::Dram,
+                        tlb_miss: true,
+                    },
+                    object: Some(ObjectId(7)),
+                },
+            },
+            TraceEvent {
+                cycles: 1_150,
+                core: 2,
+                payload: EventPayload::Pebs {
+                    sample: PebsSample {
+                        timestamp: 1_150,
+                        core: 2,
+                        ip: 0x400024,
+                        addr: 0x20,
+                        size: 4,
+                        is_store: false,
+                        latency: 9,
+                        source: MemLevel::L1,
+                        tlb_miss: false,
+                    },
+                    object: None,
+                },
+            },
+            TraceEvent {
+                cycles: 1_200,
+                core: 0,
+                payload: EventPayload::Alloc { base: 1 << 40, size: 4096, callsite: Ip(0x400030) },
+            },
+            TraceEvent { cycles: 1_300, core: 0, payload: EventPayload::Free { base: 1 << 40 } },
+            TraceEvent {
+                cycles: 1_400,
+                core: 2,
+                payload: EventPayload::MuxSwitch { event_index: 1, label: "stores — ω".into() },
+            },
+            TraceEvent {
+                cycles: 1_500,
+                core: 0,
+                payload: EventPayload::User { kind: 9, value: u64::MAX },
+            },
+            TraceEvent {
+                cycles: 1_600,
+                core: 3,
+                payload: EventPayload::RegionExit { region: RegionId(3), counters: c },
+            },
+        ]
+    }
+
+    #[test]
+    fn v4_round_trip_every_payload_kind() {
+        let evs = events();
+        let buf = encode_events_v4(&evs);
+        let back = decode_events_v4(&buf, evs.len()).expect("decode v4");
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn v4_incremental_builder_resets_cleanly() {
+        let evs = events();
+        let mut b = ChunkBuilderV4::new();
+        for e in &evs {
+            b.push(e);
+        }
+        assert_eq!(b.events(), evs.len());
+        let payload = b.serialize();
+        assert_eq!(payload, encode_events_v4(&evs));
+        assert_eq!(b.events(), 0);
+        for e in &evs {
+            b.push(e);
+        }
+        assert_eq!(b.serialize(), payload, "reset builder must re-encode identically");
+    }
+
+    #[test]
+    fn v4_encoded_len_is_exact() {
+        let evs = events();
+        let mut b = ChunkBuilderV4::new();
+        for e in &evs {
+            b.push(e);
+        }
+        let polled = b.encoded_len();
+        let payload = b.serialize();
+        // The section table (10 uvarints) is the only part not polled.
+        let mut pos = 0usize;
+        for _ in 0..10 {
+            crate::varint::get_u64(&payload, &mut pos).unwrap();
+        }
+        assert_eq!(polled, payload.len() - pos);
+    }
+
+    #[test]
+    fn v4_filtered_scan_equals_decode_then_filter() {
+        let evs = events();
+        let buf = encode_events_v4(&evs);
+        let queries = [
+            Query::all(),
+            Query::all().in_time(1_000, 1_300),
+            Query::all().with_kinds(&[EventClass::Pebs, EventClass::User]),
+            Query::all().on_cores(&[1, 3]),
+            Query::all().touching_object(ObjectId(7)),
+            Query::all().touching_object(ObjectId(8)),
+            Query::all().in_time(0, 0),
+            Query::all().in_time(1_100, 1_150).with_kinds(&[EventClass::Pebs]),
+        ];
+        for q in &queries {
+            let mut scratch = DecodeScratch::default();
+            let mut got = Vec::new();
+            let outcome =
+                scan_events_v4(&buf, evs.len(), Some(q), &mut scratch, &mut got).unwrap();
+            let want: Vec<_> = evs.iter().filter(|e| q.matches(e)).cloned().collect();
+            assert_eq!(got, want, "{q:?}");
+            assert_eq!(outcome.scanned, evs.len() as u64);
+            assert_eq!(outcome.matched, want.len() as u64);
+        }
+    }
+
+    #[test]
+    fn v4_filtered_scan_reads_fewer_payload_bytes() {
+        let evs = events();
+        let buf = encode_events_v4(&evs);
+        let mut scratch = DecodeScratch::default();
+        let mut all = Vec::new();
+        let full =
+            scan_events_v4(&buf, evs.len(), None, &mut scratch, &mut all).unwrap();
+        let q = Query::all().with_kinds(&[EventClass::Pebs]);
+        let mut some = Vec::new();
+        let filtered =
+            scan_events_v4(&buf, evs.len(), Some(&q), &mut scratch, &mut some).unwrap();
+        assert!(
+            filtered.payload_bytes < full.payload_bytes,
+            "filtered {} vs full {}",
+            filtered.payload_bytes,
+            full.payload_bytes
+        );
+        assert!(filtered.payload_bytes > 0);
+    }
+
+    #[test]
+    fn v4_scratch_reuse_is_deterministic() {
+        // One scratch across chunks and queries — the reader pool path.
+        let evs = events();
+        let buf = encode_events_v4(&evs);
+        let mut scratch = DecodeScratch::default();
+        for _ in 0..3 {
+            for q in [Query::all(), Query::all().with_kinds(&[EventClass::Free])] {
+                let mut got = Vec::new();
+                scan_events_v4(&buf, evs.len(), Some(&q), &mut scratch, &mut got).unwrap();
+                let want: Vec<_> = evs.iter().filter(|e| q.matches(e)).cloned().collect();
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn v4_rejects_wrong_count_and_corrupt_sections() {
+        let evs = events();
+        let buf = encode_events_v4(&evs);
+        assert!(decode_events_v4(&buf, evs.len() - 1).is_err());
+        assert!(decode_events_v4(&buf, evs.len() + 1).is_err());
+        assert!(decode_events_v4(&buf[..buf.len() - 1], evs.len()).is_err());
+        let mut bad = buf.clone();
+        let mut pos = 0usize;
+        for _ in 0..10 {
+            crate::varint::get_u64(&bad, &mut pos).unwrap();
+        }
+        bad[pos] = 0xEE; // tag column
+        assert!(decode_events_v4(&bad, evs.len()).is_err());
+    }
+
+    #[test]
+    fn v4_truncation_never_panics() {
+        let evs = events();
+        let buf = encode_events_v4(&evs);
+        for cut in 0..buf.len() {
+            let _ = decode_events_v4(&buf[..cut], evs.len());
+        }
+    }
+
+    #[test]
+    fn v4_empty_chunk() {
+        let buf = encode_events_v4(&[]);
+        assert_eq!(decode_events_v4(&buf, 0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn v4_size_stays_close_to_v2_on_wide_values() {
+        // Stream-vbyte trades a little size for fixed-width loads: a
+        // 47-bit value costs 8 data bytes where LEB128 spends 7, but
+        // 9–10-byte LEB128 addresses shrink to 8. Net, a PEBS-heavy
+        // chunk must stay within a few percent of the v2 encoding —
+        // the speedup must not be bought with a fatter file.
+        let evs: Vec<TraceEvent> = (0..512u64)
+            .map(|i| TraceEvent {
+                cycles: i * 37,
+                core: (i % 4) as usize,
+                payload: EventPayload::Pebs {
+                    sample: PebsSample {
+                        timestamp: i * 37,
+                        core: (i % 4) as usize,
+                        ip: 0x7fff_ffff_4000 + i,
+                        addr: 0xffff_8800_0000_0000 + i * 64,
+                        size: 8,
+                        is_store: i % 3 == 0,
+                        latency: 100 + (i % 200) as u32,
+                        source: MemLevel::L3,
+                        tlb_miss: false,
+                    },
+                    object: None,
+                },
+            })
+            .collect();
+        let v2 = crate::codec::encode_events_v2(&evs);
+        let v4 = encode_events_v4(&evs);
+        assert!(v4.len() < v2.len() + v2.len() / 10, "v4 {} vs v2 {}", v4.len(), v2.len());
+    }
+}

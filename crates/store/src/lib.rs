@@ -64,6 +64,7 @@ pub mod cache;
 pub mod cancel;
 pub mod chunk;
 pub mod codec;
+pub mod codec_v4;
 pub mod crc;
 pub mod fault;
 pub mod lz;
@@ -72,6 +73,7 @@ pub mod reader;
 pub mod recover;
 pub mod shard;
 pub mod source;
+pub mod svb;
 pub mod varint;
 pub mod writer;
 
@@ -86,8 +88,10 @@ pub use shard::{
     write_store_sharded, ShardedReader, ShardedWriter, DEFAULT_EVENTS_PER_SHARD, SHARD_DIR_SUFFIX,
 };
 pub use source::{open_trace_source, open_trace_source_with, MpsSource};
+pub use svb::{detected_simd_level, simd_level, simd_level_name, SimdLevel};
 pub use varint::CodecError;
 pub use writer::{
-    write_store, write_store_chunked, write_store_v1, write_store_v2, write_store_with,
-    StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES, DEFAULT_INFLIGHT_PER_THREAD,
+    write_store, write_store_chunked, write_store_format, write_store_v1, write_store_v2,
+    write_store_v3, write_store_with, StoreFormat, StoreSummary, StoreWriter, DEFAULT_CHUNK_BYTES,
+    DEFAULT_INFLIGHT_PER_THREAD,
 };

@@ -25,8 +25,8 @@
 //!
 //! # Integrity and recovery
 //!
-//! v3 stores checksum everything (see [`crate::writer`]). On the read
-//! side that shows up twice:
+//! v3/v4 stores checksum everything (see [`crate::writer`]). On the
+//! read side that shows up twice:
 //!
 //! - Each chunk's payload CRC32C is verified **lazily**, the first
 //!   time a query touches the chunk, and the verdict is memoized — a
@@ -44,12 +44,14 @@ use crate::cache::{CacheConfig, CacheStats, ShardedCache};
 use crate::cancel::CancelToken;
 use crate::chunk::{ChunkFrame, ChunkMeta, Compression, FRAME_LEN};
 use crate::codec::{decode_events, scan_events_v2, DecodeScratch};
+use crate::codec_v4::scan_events_v4;
 use crate::crc::{crc32c, Crc32c};
 use crate::lz;
 use crate::mmap::Mapping;
 use crate::varint::get_u64;
 use crate::writer::{
-    MAGIC, MAGIC_V1, MAGIC_V2, TRAILER_LEN, TRAILER_LEN_V2, TRAILER_MAGIC, TRAILER_MAGIC_V2,
+    MAGIC, MAGIC_V1, MAGIC_V2, MAGIC_V4, TRAILER_LEN, TRAILER_LEN_V2, TRAILER_MAGIC,
+    TRAILER_MAGIC_V2, TRAILER_MAGIC_V4,
 };
 use mempersp_extrae::events::TraceEvent;
 use mempersp_extrae::query::Query;
@@ -125,6 +127,9 @@ enum Format {
     /// `MPSTORE3`: v2 columnar payloads behind checksummed chunk
     /// frames, checksummed footer.
     V3,
+    /// `MPSTORE4`: stream-vbyte columnar payloads in the v3 container
+    /// (same frames, checksums and salvage story).
+    V4,
 }
 
 /// One chunk's raw (decompressed) payload — either borrowed from the
@@ -201,6 +206,13 @@ pub struct StoreReader {
     /// misses on LZ chunks); the acceptance counter for "decoded
     /// strictly fewer chunks than a full scan".
     decoded_total: AtomicU64,
+    /// Reusable [`DecodeScratch`]es: every scan path borrows one here
+    /// and returns it, so a reader's steady state allocates zero
+    /// scratches per query regardless of chunk count.
+    scratch_pool: Mutex<Vec<DecodeScratch>>,
+    /// Lifetime count of scratches actually constructed (pool misses);
+    /// the bench's allocation-count report.
+    scratch_allocs: AtomicU64,
 }
 
 /// The header a salvage open serves when the real one never reached
@@ -255,6 +267,7 @@ impl StoreReader {
         let bytes = map.bytes();
 
         let format = match &bytes[..8] {
+            m if m == MAGIC_V4 => Format::V4,
             m if m == MAGIC => Format::V3,
             m if m == MAGIC_V2 => Format::V2,
             m if m == MAGIC_V1 => Format::V1,
@@ -277,7 +290,7 @@ impl StoreReader {
                     Err(e) => return Err(e),
                 }
             }
-            Err(e) if mode == RecoveryMode::Salvage && format == Format::V3 => {
+            Err(e) if mode == RecoveryMode::Salvage && matches!(format, Format::V3 | Format::V4) => {
                 // No trustworthy footer: rebuild the chunk list from
                 // the self-delimiting frames. Payloads are fully
                 // CRC-checked during the scan, so mark survivors
@@ -310,7 +323,32 @@ impl StoreReader {
             damage: Mutex::new(damage),
             cache: ShardedCache::new(cache),
             decoded_total: AtomicU64::new(0),
+            scratch_pool: Mutex::new(Vec::new()),
+            scratch_allocs: AtomicU64::new(0),
         })
+    }
+
+    /// Borrow a decode scratch from the pool (or build one, counted in
+    /// [`StoreReader::scratch_allocs_total`]). Pair with
+    /// [`StoreReader::put_scratch`].
+    fn take_scratch(&self) -> DecodeScratch {
+        match self.scratch_pool.lock().expect("scratch pool poisoned").pop() {
+            Some(s) => s,
+            None => {
+                self.scratch_allocs.fetch_add(1, Ordering::Relaxed);
+                DecodeScratch::default()
+            }
+        }
+    }
+
+    fn put_scratch(&self, scratch: DecodeScratch) {
+        self.scratch_pool.lock().expect("scratch pool poisoned").push(scratch);
+    }
+
+    /// Lifetime count of `DecodeScratch` constructions — pool misses.
+    /// A warm reader's queries should not move this.
+    pub fn scratch_allocs_total(&self) -> u64 {
+        self.scratch_allocs.load(Ordering::Relaxed)
     }
 
     /// The chunk index.
@@ -334,18 +372,19 @@ impl StoreReader {
         self.header_intact
     }
 
-    /// Container format version: 1, 2, or 3.
+    /// Container format version: 1, 2, 3, or 4.
     pub fn format_version(&self) -> u32 {
         match self.format {
             Format::V1 => 1,
             Format::V2 => 2,
             Format::V3 => 3,
+            Format::V4 => 4,
         }
     }
 
-    /// Does the file carry per-chunk checksums (v3)?
+    /// Does the file carry per-chunk checksums (v3/v4)?
     pub fn is_checksummed(&self) -> bool {
-        self.format == Format::V3
+        matches!(self.format, Format::V3 | Format::V4)
     }
 
     /// Toggle lazy payload-CRC verification (v3 only; on by default).
@@ -378,7 +417,7 @@ impl StoreReader {
     /// Verify chunk `idx`'s frame + payload CRC (v3), memoizing the
     /// verdict so each chunk pays for its checksum at most once.
     fn check_chunk(&self, idx: usize) -> io::Result<()> {
-        if self.format != Format::V3 || !self.verify {
+        if !self.is_checksummed() || !self.verify {
             return Ok(());
         }
         match self.verified[idx].load(Ordering::Acquire) {
@@ -501,17 +540,25 @@ impl StoreReader {
         }
         let m = &self.metas[idx];
         match self.format {
+            Format::V4 => {
+                let o = scan_events_v4(&data, m.events as usize, Some(q), scratch, out)
+                    .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                stats.events_scanned += o.scanned;
+                stats.events_matched += o.matched;
+                stats.payload_bytes_decoded += o.payload_bytes;
+            }
             Format::V2 | Format::V3 => {
-                let (scanned, matched) =
-                    scan_events_v2(&data, m.events as usize, Some(q), scratch, out)
-                        .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
-                stats.events_scanned += scanned;
-                stats.events_matched += matched;
+                let o = scan_events_v2(&data, m.events as usize, Some(q), scratch, out)
+                    .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                stats.events_scanned += o.scanned;
+                stats.events_matched += o.matched;
+                stats.payload_bytes_decoded += o.payload_bytes;
             }
             Format::V1 => {
                 let events = decode_events(&data, m.events as usize)
                     .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
                 stats.events_scanned += events.len() as u64;
+                stats.payload_bytes_decoded += m.raw_len as u64;
                 for e in events {
                     if q.matches(&e) {
                         stats.events_matched += 1;
@@ -531,12 +578,17 @@ impl StoreReader {
         cancel: &CancelToken,
     ) -> io::Result<(Vec<TraceEvent>, ScanStats)> {
         let mut stats = ScanStats { chunks_skipped: skipped, ..Default::default() };
-        let mut scratch = DecodeScratch::default();
+        let mut scratch = self.take_scratch();
         let mut out = Vec::new();
-        for &idx in candidates {
-            cancel.check()?;
-            self.scan_chunk(idx, q, &mut scratch, &mut out, &mut stats)?;
-        }
+        let res = (|| -> io::Result<()> {
+            for &idx in candidates {
+                cancel.check()?;
+                self.scan_chunk(idx, q, &mut scratch, &mut out, &mut stats)?;
+            }
+            Ok(())
+        })();
+        self.put_scratch(scratch);
+        res?;
         Ok((out, stats))
     }
 
@@ -589,12 +641,17 @@ impl StoreReader {
                 .map(|slice| {
                     s.spawn(move || {
                         let mut stats = ScanStats::default();
-                        let mut scratch = DecodeScratch::default();
+                        let mut scratch = self.take_scratch();
                         let mut out = Vec::new();
-                        for &idx in slice {
-                            cancel.check()?;
-                            self.scan_chunk(idx, q, &mut scratch, &mut out, &mut stats)?;
-                        }
+                        let res = (|| -> io::Result<()> {
+                            for &idx in slice {
+                                cancel.check()?;
+                                self.scan_chunk(idx, q, &mut scratch, &mut out, &mut stats)?;
+                            }
+                            Ok(())
+                        })();
+                        self.put_scratch(scratch);
+                        res?;
                         Ok((out, stats))
                     })
                 })
@@ -612,6 +669,7 @@ impl StoreReader {
             stats.chunks_decoded += p.chunks_decoded;
             stats.chunks_cached += p.chunks_cached;
             stats.chunks_damaged += p.chunks_damaged;
+            stats.payload_bytes_decoded += p.payload_bytes_decoded;
         }
         Ok((out, stats))
     }
@@ -639,10 +697,13 @@ impl StoreReader {
             stats.chunks_skipped = self.metas.len() as u64;
             return Ok((outs, stats));
         }
-        let mut scratch = DecodeScratch::default();
+        let mut scratch = self.take_scratch();
         let mut events = Vec::new();
         for (idx, m) in self.metas.iter().enumerate() {
-            cancel.check()?;
+            if let Err(e) = cancel.check() {
+                self.put_scratch(scratch);
+                return Err(e);
+            }
             if !qs.iter().any(|q| m.may_match(q)) {
                 stats.chunks_skipped += 1;
                 continue;
@@ -651,13 +712,22 @@ impl StoreReader {
             let decode = (|| -> io::Result<bool> {
                 let (data, decoded) = self.chunk_data(idx)?;
                 match self.format {
+                    Format::V4 => {
+                        let o =
+                            scan_events_v4(&data, m.events as usize, None, &mut scratch, &mut events)
+                                .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                        stats.payload_bytes_decoded += o.payload_bytes;
+                    }
                     Format::V2 | Format::V3 => {
-                        scan_events_v2(&data, m.events as usize, None, &mut scratch, &mut events)
-                            .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                        let o =
+                            scan_events_v2(&data, m.events as usize, None, &mut scratch, &mut events)
+                                .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                        stats.payload_bytes_decoded += o.payload_bytes;
                     }
                     Format::V1 => {
                         events = decode_events(&data, m.events as usize)
                             .map_err(|e| bad_data(format!("chunk {idx}: {e}")))?;
+                        stats.payload_bytes_decoded += m.raw_len as u64;
                     }
                 }
                 Ok(decoded)
@@ -679,7 +749,10 @@ impl StoreReader {
                         .record_chunk(idx, m.offset, e.to_string());
                     continue;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.put_scratch(scratch);
+                    return Err(e);
+                }
             }
             stats.events_scanned += events.len() as u64;
             for e in &events {
@@ -691,6 +764,7 @@ impl StoreReader {
                 }
             }
         }
+        self.put_scratch(scratch);
         Ok((outs, stats))
     }
 
@@ -708,7 +782,7 @@ impl StoreReader {
     /// defect. This is the engine behind `mempersp fsck`; a clean file
     /// returns open-time damage only (empty for a strict open).
     pub fn verify_all(&self) -> Vec<ChunkDamage> {
-        let mut scratch = DecodeScratch::default();
+        let mut scratch = self.take_scratch();
         let mut found = Vec::new();
         for idx in 0..self.metas.len() {
             if let Err(e) = self.verify_chunk_deep(idx, &mut scratch) {
@@ -719,6 +793,7 @@ impl StoreReader {
             }
         }
         // Fold in anything already known (salvage open notes).
+        self.put_scratch(scratch);
         let mut all = self.damage_report();
         for d in found {
             if !all.contains(&d) {
@@ -734,6 +809,10 @@ impl StoreReader {
         let m = &self.metas[idx];
         let mut sink = Vec::new();
         match self.format {
+            Format::V4 => {
+                scan_events_v4(&data, m.events as usize, None, scratch, &mut sink)
+                    .map_err(|e| bad_data(format!("{e}")))?;
+            }
             Format::V2 | Format::V3 => {
                 scan_events_v2(&data, m.events as usize, None, scratch, &mut sink)
                     .map_err(|e| bad_data(format!("{e}")))?;
@@ -751,6 +830,7 @@ impl StoreReader {
 fn parse_footer(bytes: &[u8], format: Format, path: &Path) -> io::Result<FooterInfo> {
     let len = bytes.len();
     let (trailer_len, trailer_magic): (usize, &[u8; 8]) = match format {
+        Format::V4 => (TRAILER_LEN, TRAILER_MAGIC_V4),
         Format::V3 => (TRAILER_LEN, TRAILER_MAGIC),
         _ => (TRAILER_LEN_V2, TRAILER_MAGIC_V2),
     };
@@ -775,7 +855,7 @@ fn parse_footer(bytes: &[u8], format: Format, path: &Path) -> io::Result<FooterI
 
     // Footer index, parsed straight from the mapping.
     let index = &bytes[index_off..len - trailer_len];
-    if format == Format::V3 {
+    if matches!(format, Format::V3 | Format::V4) {
         let want = u32::from_le_bytes(trailer[8..12].try_into().expect("4 bytes"));
         let got = crc32c(index);
         if want != got {
@@ -790,9 +870,9 @@ fn parse_footer(bytes: &[u8], format: Format, path: &Path) -> io::Result<FooterI
     if count > len / 8 {
         return Err(bad_data(format!("{}: implausible chunk count {count}", path.display())));
     }
-    // v3 payloads sit behind their 28-byte frame.
+    // v3/v4 payloads sit behind their 28-byte frame.
     let min_payload_off = match format {
-        Format::V3 => (MAGIC.len() + FRAME_LEN) as u64,
+        Format::V3 | Format::V4 => (MAGIC.len() + FRAME_LEN) as u64,
         _ => MAGIC.len() as u64,
     };
     let mut metas = Vec::with_capacity(count);
@@ -839,10 +919,10 @@ fn parse_footer(bytes: &[u8], format: Format, path: &Path) -> io::Result<FooterI
     let header_raw_len = get_u64(index, &mut pos)? as usize;
     let header_stored_len = get_u64(index, &mut pos)? as usize;
 
-    // Header blob: compression byte + payload (+ CRC32C in v3),
+    // Header blob: compression byte + payload (+ CRC32C in v3/v4),
     // inside the data region like any chunk.
     let trail = match format {
-        Format::V3 => 4usize, // trailing header CRC
+        Format::V3 | Format::V4 => 4usize, // trailing header CRC
         _ => 0,
     };
     let blob_end = header_off
@@ -878,7 +958,7 @@ fn parse_header_blob(
     let blob_end = header_off + 1 + footer.header_stored_len;
     let code = bytes[header_off];
     let blob = &bytes[header_off + 1..blob_end];
-    if format == Format::V3 {
+    if matches!(format, Format::V3 | Format::V4) {
         let want = u32::from_le_bytes(bytes[blob_end..blob_end + 4].try_into().expect("4 bytes"));
         let got = Crc32c::new().chain(&[code]).chain(blob).finish();
         if want != got {
@@ -1010,7 +1090,7 @@ mod tests {
         let t = trace();
         write_store_chunked(&path, &t, 4096).unwrap();
         let r = StoreReader::open(&path).unwrap();
-        assert_eq!(r.format_version(), 3);
+        assert_eq!(r.format_version(), 4);
         assert!(r.is_checksummed());
         let back = r.materialize().unwrap();
         assert_eq!(back.events, t.events);

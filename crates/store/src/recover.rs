@@ -246,7 +246,7 @@ mod tests {
         write_store_sharded(&sharded, &t, 4096, 1, 2500).unwrap();
         let rs = fsck_store(&single).unwrap();
         assert!(rs.is_clean(), "{:?}", rs.damage);
-        assert_eq!((rs.format_version, rs.shards, rs.events), (3, 1, t.events.len() as u64));
+        assert_eq!((rs.format_version, rs.shards, rs.events), (4, 1, t.events.len() as u64));
         let rd = fsck_store(&sharded).unwrap();
         assert!(rd.is_clean(), "{:?}", rd.damage);
         assert_eq!((rd.shards, rd.events), (3, t.events.len() as u64));

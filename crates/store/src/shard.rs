@@ -444,6 +444,7 @@ impl ShardedReader {
             stats.chunks_damaged += p.chunks_damaged;
             stats.events_scanned += p.events_scanned;
             stats.events_matched += p.events_matched;
+            stats.payload_bytes_decoded += p.payload_bytes_decoded;
         }
         (out, stats)
     }
@@ -527,6 +528,7 @@ impl ShardedReader {
             stats.chunks_damaged += p.chunks_damaged;
             stats.events_scanned += p.events_scanned;
             stats.events_matched += p.events_matched;
+            stats.payload_bytes_decoded += p.payload_bytes_decoded;
         }
         Ok((outs, stats))
     }

@@ -193,9 +193,9 @@ impl TraceSource for MpsSource {
 }
 
 /// Open a trace by path. A directory with a shard manifest is a
-/// sharded store; a file leading with a store magic (`MPSTORE3`,
-/// `MPSTORE2` or `MPSTORE1`) is a binary store; anything else is
-/// parsed as a text `.prv` trace.
+/// sharded store; a file leading with a store magic (`MPSTORE4`,
+/// `MPSTORE3`, `MPSTORE2` or `MPSTORE1`) is a binary store; anything
+/// else is parsed as a text `.prv` trace.
 pub fn open_trace_source(path: &Path) -> io::Result<Box<dyn TraceSource>> {
     open_trace_source_with(path, RecoveryMode::Strict, true)
 }
@@ -217,7 +217,8 @@ pub fn open_trace_source_with(
     let n = file.read(&mut head)?;
     drop(file);
     if n == 8
-        && (&head == crate::writer::MAGIC
+        && (&head == crate::writer::MAGIC_V4
+            || &head == crate::writer::MAGIC
             || &head == crate::writer::MAGIC_V2
             || &head == crate::writer::MAGIC_V1)
     {

@@ -1,15 +1,16 @@
 //! The append-only store writer.
 //!
-//! File layout (`.mps`, format v3):
+//! File layout (`.mps`, format v4 — v3 differs only in the chunk
+//! payload codec and the `3` in both magics):
 //!
 //! ```text
 //! +-----------------+ offset 0
-//! | magic MPSTORE3  | 8 bytes (MPSTORE1/MPSTORE2 remain readable)
+//! | magic MPSTORE4  | 8 bytes (MPSTORE1/2/3 remain readable)
 //! +-----------------+
 //! | frame 0         | 28-byte self-delimiting chunk header:
 //! | chunk payload 0 |   length + CRC32C of payload + CRC of itself
-//! | frame 1         | v2 columnar events, raw or LZ   (~64 KiB each)
-//! | chunk payload 1 |
+//! | frame 1         | v4 stream-vbyte columns, raw or LZ (~64 KiB
+//! | chunk payload 1 |   each; v3 files carry v2 LEB128 columns)
 //! | ...             |
 //! +-----------------+
 //! | header blob     | compression code + header_sections() text
@@ -19,7 +20,7 @@
 //! |                 | header blob location
 //! +-----------------+
 //! | trailer         | index_off:u64le + index CRC32C + magic
-//! |                 | MPSEND03  (20 bytes)
+//! |                 | MPSEND04  (20 bytes)
 //! +-----------------+
 //! ```
 //!
@@ -57,6 +58,7 @@
 
 use crate::chunk::{ChunkFrame, ChunkMeta, Compression, FRAME_LEN};
 use crate::codec::ChunkBuilder;
+use crate::codec_v4::ChunkBuilderV4;
 use crate::crc::{crc32c, Crc32c};
 use crate::fault::StoreFile;
 use crate::lz;
@@ -69,8 +71,12 @@ use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
-/// Leading file magic of the checksummed v3 format (what this writer
-/// emits).
+/// Leading file magic of the stream-vbyte v4 format (what this writer
+/// emits by default). The container framing is v3's — only the chunk
+/// payload codec differs.
+pub const MAGIC_V4: &[u8; 8] = b"MPSTORE4";
+/// Leading file magic of the checksummed v3 format (still writable
+/// via [`StoreFormat::V3`]).
 pub const MAGIC: &[u8; 8] = b"MPSTORE3";
 /// Leading magic of the columnar v2 format; the reader still accepts
 /// it.
@@ -78,6 +84,8 @@ pub const MAGIC_V2: &[u8; 8] = b"MPSTORE2";
 /// Leading magic of the original row-oriented format; the reader
 /// still accepts it.
 pub const MAGIC_V1: &[u8; 8] = b"MPSTORE1";
+/// Trailing file magic of v4 (after the index offset + index CRC).
+pub const TRAILER_MAGIC_V4: &[u8; 8] = b"MPSEND04";
 /// Trailing file magic of v3 (after the index offset + index CRC).
 pub const TRAILER_MAGIC: &[u8; 8] = b"MPSEND03";
 /// Trailing file magic shared by v1 and v2 (after the index offset).
@@ -112,6 +120,73 @@ pub fn sync_parent_dir(entry: &Path) -> io::Result<()> {
     std::fs::File::open(&parent)
         .and_then(|d| d.sync_all())
         .map_err(|e| io::Error::new(e.kind(), format!("fsync dir {}: {e}", parent.display())))
+}
+
+/// Which chunk codec (and magic pair) a [`StoreWriter`] emits. The
+/// container — frames, CRCs, footer, trailer shape, salvage — is
+/// identical; only the chunk payload encoding differs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// LEB128 columnar chunks (`MPSTORE3`/`MPSEND03`).
+    V3,
+    /// Stream-vbyte columnar chunks (`MPSTORE4`/`MPSEND04`).
+    #[default]
+    V4,
+}
+
+impl StoreFormat {
+    pub fn magic(self) -> &'static [u8; 8] {
+        match self {
+            StoreFormat::V3 => MAGIC,
+            StoreFormat::V4 => MAGIC_V4,
+        }
+    }
+
+    pub fn trailer_magic(self) -> &'static [u8; 8] {
+        match self {
+            StoreFormat::V3 => TRAILER_MAGIC,
+            StoreFormat::V4 => TRAILER_MAGIC_V4,
+        }
+    }
+}
+
+/// The open chunk's encoder, picked by [`StoreFormat`].
+enum Builder {
+    // Boxed: the builders carry inline column buffers (up to ~1.9 KiB for
+    // v4) and there is one Builder per writer shard, so the indirection
+    // is free and keeps the enum itself pointer-sized.
+    V2(Box<ChunkBuilder>),
+    V4(Box<ChunkBuilderV4>),
+}
+
+impl Builder {
+    fn new(format: StoreFormat) -> Builder {
+        match format {
+            StoreFormat::V3 => Builder::V2(Box::new(ChunkBuilder::new())),
+            StoreFormat::V4 => Builder::V4(Box::new(ChunkBuilderV4::new())),
+        }
+    }
+
+    fn push(&mut self, e: &TraceEvent) {
+        match self {
+            Builder::V2(b) => b.push(e),
+            Builder::V4(b) => b.push(e),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            Builder::V2(b) => b.encoded_len(),
+            Builder::V4(b) => b.encoded_len(),
+        }
+    }
+
+    fn serialize(&mut self) -> Vec<u8> {
+        match self {
+            Builder::V2(b) => b.serialize(),
+            Builder::V4(b) => b.serialize(),
+        }
+    }
 }
 
 /// What a finished store contains.
@@ -149,14 +224,23 @@ struct CommitDone {
     raw_bytes: u64,
 }
 
-/// Compress one sealed chunk, choosing the smaller representation,
-/// and checksum the stored bytes — the single pure function both the
-/// inline path and the worker pool run, so output bytes never depend
-/// on the thread count.
+/// Minimum fraction of a chunk LZ must save before it beats `Raw`
+/// (1/8 = 12.5%). A `Raw` chunk is served zero-copy straight out of
+/// the mmap; an `Lz` chunk pays a full decompression pass on every
+/// cold read. Stream-vbyte payloads often shave only a few percent
+/// under LZ (width padding compresses, the data bytes do not), and
+/// trading a single-digit size win for a decompression pass on the
+/// scan path is a loss for a decode-bound store.
+const MIN_COMPRESS_DENOM: usize = 8;
+
+/// Compress one sealed chunk, keeping LZ only when it saves at least
+/// 1/[`MIN_COMPRESS_DENOM`] of the raw bytes, and checksum the stored
+/// bytes — the single pure function both the inline path and the
+/// worker pool run, so output bytes never depend on the thread count.
 fn compress_chunk(raw: Vec<u8>, mut meta: ChunkMeta) -> (Vec<u8>, Compression, u32, ChunkMeta) {
     meta.raw_len = raw.len() as u32;
     let compressed = lz::compress(&raw);
-    let (payload, compression) = if compressed.len() < raw.len() {
+    let (payload, compression) = if compressed.len() <= raw.len() - raw.len() / MIN_COMPRESS_DENOM {
         (compressed, Compression::Lz)
     } else {
         (raw, Compression::Raw)
@@ -300,8 +384,9 @@ pub struct StoreWriter {
     sink: Sink,
     target: Option<Target>,
     chunk_target: usize,
+    format: StoreFormat,
     /// Columnar encoder of the open chunk.
-    builder: ChunkBuilder,
+    builder: Builder,
     /// Summary of the open chunk.
     open_meta: ChunkMeta,
     /// Sealed-chunk index entries, in commit order (populated lazily
@@ -344,11 +429,32 @@ impl StoreWriter {
         threads: usize,
         max_inflight: usize,
     ) -> io::Result<StoreWriter> {
+        Self::with_format(path, chunk_target, threads, max_inflight, StoreFormat::default())
+    }
+
+    /// [`StoreWriter::with_options`] with an explicit on-disk format —
+    /// the seam `convert --format v3` and the v3-vs-v4 benches use to
+    /// emit the previous codec.
+    pub fn with_format(
+        path: &Path,
+        chunk_target: usize,
+        threads: usize,
+        max_inflight: usize,
+        format: StoreFormat,
+    ) -> io::Result<StoreWriter> {
         let tmp = tmp_path(path);
         let file = std::fs::File::create(&tmp).map_err(|e| {
             io::Error::new(e.kind(), format!("creating store {}: {e}", tmp.display()))
         })?;
-        Self::with_backend(Box::new(file), tmp, path.to_path_buf(), chunk_target, threads, max_inflight)
+        Self::with_backend_format(
+            Box::new(file),
+            tmp,
+            path.to_path_buf(),
+            chunk_target,
+            threads,
+            max_inflight,
+            format,
+        )
     }
 
     /// Build a writer over an explicit backing file — the seam the
@@ -364,13 +470,35 @@ impl StoreWriter {
         threads: usize,
         max_inflight: usize,
     ) -> io::Result<StoreWriter> {
+        Self::with_backend_format(
+            file,
+            tmp,
+            dest,
+            chunk_target,
+            threads,
+            max_inflight,
+            StoreFormat::default(),
+        )
+    }
+
+    /// [`StoreWriter::with_backend`] with an explicit on-disk format.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_backend_format(
+        file: Box<dyn StoreFile>,
+        tmp: PathBuf,
+        dest: PathBuf,
+        chunk_target: usize,
+        threads: usize,
+        max_inflight: usize,
+        format: StoreFormat,
+    ) -> io::Result<StoreWriter> {
         let mut out = io::BufWriter::new(file);
-        if let Err(e) = out.write_all(MAGIC).and_then(|()| out.flush()) {
+        if let Err(e) = out.write_all(format.magic()).and_then(|()| out.flush()) {
             drop(out);
             let _ = std::fs::remove_file(&tmp);
             return Err(e);
         }
-        let pos = MAGIC.len() as u64;
+        let pos = format.magic().len() as u64;
         let sink = if threads > 1 {
             Sink::Pipelined(Pipeline::spawn(out, pos, threads, max_inflight))
         } else {
@@ -380,7 +508,8 @@ impl StoreWriter {
             sink,
             target: Some(Target { tmp, dest }),
             chunk_target: chunk_target.max(1024),
-            builder: ChunkBuilder::new(),
+            format,
+            builder: Builder::new(format),
             open_meta: ChunkMeta::summarize(&[]),
             metas: Vec::new(),
             total_events: 0,
@@ -516,7 +645,7 @@ impl StoreWriter {
         // Fixed-size trailer so a reader can find the index from EOF.
         out.write_all(&index_off.to_le_bytes())?;
         out.write_all(&crc32c(&index).to_le_bytes())?;
-        out.write_all(TRAILER_MAGIC)?;
+        out.write_all(self.format.trailer_magic())?;
         out.flush()?;
 
         // Durability, then atomicity: contents hit stable storage
@@ -756,6 +885,17 @@ fn write_footer_v2(
     out.flush()
 }
 
+/// Write `trace` in the checksummed LEB128 v3 format (`MPSTORE3`).
+/// Kept so the reader's v3 path, the v3↔v4 `convert` round trip and
+/// the v4-vs-v3 bench comparator stay covered; new traces use v4.
+pub fn write_store_v3(path: &Path, trace: &Trace, chunk_target: usize) -> io::Result<StoreSummary> {
+    let mut w = StoreWriter::with_format(path, chunk_target, 1, 1, StoreFormat::V3)?;
+    for e in &trace.events {
+        w.append(e)?;
+    }
+    w.finish(trace)
+}
+
 /// [`write_store_chunked`] with a compressor pool of `threads`.
 pub fn write_store_with(
     path: &Path,
@@ -763,7 +903,20 @@ pub fn write_store_with(
     chunk_target: usize,
     threads: usize,
 ) -> io::Result<StoreSummary> {
-    let mut w = StoreWriter::with_threads(path, chunk_target, threads)?;
+    write_store_format(path, trace, chunk_target, threads, StoreFormat::default())
+}
+
+/// [`write_store_with`] with an explicit on-disk format — `convert
+/// --format v3` goes through here.
+pub fn write_store_format(
+    path: &Path,
+    trace: &Trace,
+    chunk_target: usize,
+    threads: usize,
+    format: StoreFormat,
+) -> io::Result<StoreSummary> {
+    let inflight = threads.max(1) * DEFAULT_INFLIGHT_PER_THREAD;
+    let mut w = StoreWriter::with_format(path, chunk_target, threads, inflight, format)?;
     for e in &trace.events {
         w.append(e)?;
     }
@@ -823,6 +976,37 @@ mod tests {
     }
 
     #[test]
+    fn v3_store_round_trips_through_reader() {
+        let path = tmp("legacy_v3.mps");
+        let t = trace(1500);
+        let s = write_store_v3(&path, &t, 4096).unwrap();
+        assert_eq!(s.events, 3000);
+        assert!(s.chunks > 1, "small target forces multiple chunks, got {}", s.chunks);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC);
+        let r = crate::reader::StoreReader::open(&path).unwrap();
+        let back = r.materialize().unwrap();
+        assert_eq!(back.events, t.events, "v3 files must stay readable");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_and_v4_stores_decode_identically() {
+        let t = trace(1500);
+        let p3 = tmp("fmt3.mps");
+        let p4 = tmp("fmt4.mps");
+        write_store_v3(&p3, &t, 4096).unwrap();
+        write_store_chunked(&p4, &t, 4096).unwrap();
+        let t3 = crate::reader::StoreReader::open(&p3).unwrap().materialize().unwrap();
+        let t4 = crate::reader::StoreReader::open(&p4).unwrap().materialize().unwrap();
+        assert_eq!(t3.events, t4.events);
+        assert_eq!(t3.events, t.events);
+        std::fs::remove_file(&p3).ok();
+        std::fs::remove_file(&p4).ok();
+    }
+
+    #[test]
     fn file_shape_magic_frames_and_trailer() {
         let path = tmp("shape.mps");
         let t = trace(2000);
@@ -830,8 +1014,8 @@ mod tests {
         assert_eq!(s.events, 4000);
         assert!(s.chunks > 1, "small target forces multiple chunks, got {}", s.chunks);
         let bytes = std::fs::read(&path).unwrap();
-        assert_eq!(&bytes[..8], MAGIC);
-        assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC);
+        assert_eq!(&bytes[..8], MAGIC_V4);
+        assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC_V4);
         let index_off = u64::from_le_bytes(
             bytes[bytes.len() - TRAILER_LEN..bytes.len() - TRAILER_LEN + 8].try_into().unwrap(),
         );
@@ -870,7 +1054,7 @@ mod tests {
         assert_eq!(s.events, 0);
         assert_eq!(s.chunks, 0);
         let bytes = std::fs::read(&path).unwrap();
-        assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC);
+        assert_eq!(&bytes[bytes.len() - 8..], TRAILER_MAGIC_V4);
         std::fs::remove_file(&path).ok();
     }
 

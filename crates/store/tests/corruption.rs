@@ -31,6 +31,12 @@ fn tmpdir() -> std::path::PathBuf {
 }
 
 /// A valid multi-chunk store file's bytes, built once per test.
+fn valid_store_bytes_v3() -> Vec<u8> {
+    let path = tmpdir().join("valid_v3.mps");
+    mempersp_store::write_store_v3(&path, &trace(400), 1024).expect("write v3");
+    std::fs::read(&path).expect("read back")
+}
+
 fn valid_store_bytes() -> Vec<u8> {
     let path = tmpdir().join(format!("valid_{:?}.mps", std::thread::current().id()));
     write_store_chunked(&path, &trace(400), 1024).expect("write");
@@ -248,6 +254,30 @@ proptest! {
             Ok(reader) => {
                 // The flip may have landed in a payload: decoding must
                 // surface it as Err, never as a panic.
+                let q = Query::all().with_kinds(&[EventClass::RegionEnter]);
+                let _ = reader.query(&q);
+                let _ = reader.query_parallel(&Query::all(), 4);
+                let _ = reader.materialize();
+            }
+        }
+    }
+
+    /// The same flip sweep over a v3 (LEB128) store: the default
+    /// writer moved to v4, so the legacy decode path keeps its own
+    /// corruption coverage.
+    #[test]
+    fn byte_flips_never_panic_v3(
+        flips in prop::collection::vec((0usize..usize::MAX, 1u8..=255), 1..8),
+        case in any::<u64>(),
+    ) {
+        let mut bytes = valid_store_bytes_v3();
+        for (pos, xor) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= xor;
+        }
+        match open_bytes(&format!("flip_v3_{case}.mps"), &bytes) {
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+            Ok(reader) => {
                 let q = Query::all().with_kinds(&[EventClass::RegionEnter]);
                 let _ = reader.query(&q);
                 let _ = reader.query_parallel(&Query::all(), 4);

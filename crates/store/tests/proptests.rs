@@ -8,9 +8,11 @@ use mempersp_extrae::source::Ip;
 use mempersp_memsim::MemLevel;
 use mempersp_pebs::{CounterSnapshot, PebsSample};
 use mempersp_store::codec::{decode_events, encode_events};
+use mempersp_store::codec_v4::{decode_events_v4, encode_events_v4};
 use mempersp_store::lz;
+use mempersp_store::svb::{encode_column, unzigzag, SvbColumn};
 use mempersp_store::writer::write_store_chunked;
-use mempersp_store::StoreReader;
+use mempersp_store::{detected_simd_level, SimdLevel, StoreReader};
 use proptest::prelude::*;
 
 fn arb_level() -> impl Strategy<Value = MemLevel> {
@@ -122,6 +124,32 @@ fn kinds_from_mask(mask: u8) -> Vec<EventClass> {
     }
 }
 
+/// One arbitrary column value biased so every stream-vbyte width
+/// class (1/2/4/8 data bytes) and both extremes show up often.
+fn arb_col_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(u64::MAX),
+        0u64..=0xFF,
+        0x100u64..=0xFFFF,
+        0x1_0000u64..=0xFFFF_FFFF,
+        0x1_0000_0000u64..=u64::MAX,
+    ]
+}
+
+/// The SIMD kernels this host can actually run (hardware detection,
+/// ignoring the `MEMPERSP_NO_SIMD` override).
+fn runnable_levels() -> Vec<SimdLevel> {
+    let mut levels = vec![SimdLevel::Scalar];
+    if detected_simd_level() != SimdLevel::Scalar {
+        levels.push(SimdLevel::Ssse3);
+    }
+    if detected_simd_level() == SimdLevel::Avx2 {
+        levels.push(SimdLevel::Avx2);
+    }
+    levels
+}
+
 fn tmp(name: &str, case: u64) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("mempersp_store_pt_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -136,6 +164,62 @@ proptest! {
         let buf = encode_events(&events);
         let back = decode_events(&buf, events.len()).expect("decode");
         prop_assert_eq!(back, events);
+    }
+
+    /// The v4 stream-vbyte codec round-trips the same arbitrary
+    /// mixes: every payload kind, out-of-order timestamps (negative
+    /// deltas), full-width values.
+    #[test]
+    fn v4_codec_round_trips(events in prop::collection::vec(arb_event(), 0..200)) {
+        let buf = encode_events_v4(&events);
+        let back = decode_events_v4(&buf, events.len()).expect("decode v4");
+        prop_assert_eq!(back, events);
+    }
+
+    /// Every stream-vbyte kernel this host can run decodes random
+    /// columns byte-identically to the scalar reference — including
+    /// max-width values, empty columns, and lengths that leave 1–3
+    /// values in the tail group or cross the 32-value SIMD block
+    /// boundary.
+    #[test]
+    fn svb_kernels_agree_with_scalar(
+        vals in prop::collection::vec(arb_col_value(), 0..150),
+    ) {
+        let stream = encode_column(&vals);
+        let mut pos = 0usize;
+        let col = SvbColumn::parse(&stream, &mut pos, vals.len()).expect("parse");
+        prop_assert_eq!(pos, stream.len(), "parse must consume the whole stream");
+        let mut scalar = Vec::new();
+        col.decode_into_with(SimdLevel::Scalar, &mut scalar);
+        prop_assert_eq!(&scalar, &vals);
+        for level in runnable_levels() {
+            let mut out = Vec::new();
+            col.decode_into_with(level, &mut out);
+            prop_assert_eq!(&out, &scalar, "kernel {:?} diverged", level);
+        }
+    }
+
+    /// The fused zigzag-undo + prefix-sum kernel equals the obvious
+    /// scalar fold, for arbitrary signed deltas and starting value.
+    #[test]
+    fn svb_zigzag_prefix_matches_scalar_fold(
+        zz in prop::collection::vec(arb_col_value(), 0..150),
+        prev in any::<u64>(),
+    ) {
+        let stream = encode_column(&zz);
+        let mut pos = 0usize;
+        let col = SvbColumn::parse(&stream, &mut pos, zz.len()).expect("parse");
+        let mut got = Vec::new();
+        col.decode_zigzag_prefix_into(prev, &mut got);
+        let mut acc = prev;
+        let want: Vec<u64> = zz
+            .iter()
+            .map(|&z| {
+                acc = acc.wrapping_add(unzigzag(z));
+                acc
+            })
+            .collect();
+        prop_assert_eq!(got, want);
     }
 
     /// The LZ pass is lossless on arbitrary bytes.
